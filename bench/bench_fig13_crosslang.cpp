@@ -1,0 +1,37 @@
+// Fig. 13 (q)-(r): the two cross-language experiments. Paper shape: every
+// meter degrades markedly when trained on the other language's passwords —
+// training-set language matters more than the meter.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/render.h"
+#include "eval/scenario.h"
+#include "util/format.h"
+
+using namespace fpsm;
+
+int main(int argc, char** argv) {
+  auto cfg = bench::defaultConfig(argc, argv);
+  cfg.computeSpearman = false;
+  bench::printHeader("Fig. 13 (q)-(r): cross-language experiments", cfg);
+  EvalHarness harness(cfg);
+
+  // For contrast, run the same targets with same-language training first.
+  std::string summaries;
+  for (const auto& sc : realScenarios()) {
+    if (sc.testService == "Dodonew" || sc.testService == "Yahoo") {
+      const auto result = harness.run(sc);
+      summaries += "(same-language) " + renderScenarioSummary(result);
+    }
+  }
+  for (const auto& sc : crossLanguageScenarios()) {
+    const auto result = harness.run(sc);
+    std::printf("%s", renderScenarioResult(result).c_str());
+    if (const auto tsv = maybeWriteScenarioTsv(result); !tsv.empty()) {
+      std::printf("(series written to %s)\n", tsv.c_str());
+    }
+    summaries += "(cross-language) " + renderScenarioSummary(result);
+  }
+  std::printf("%s%s", banner("summaries").c_str(), summaries.c_str());
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fig. 13 (a)-(i): the nine ideal-case experiments (1/4 train vs 1/4 test
+// of each service), Kendall tau-b vs the ideal meter per top-k prefix.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/render.h"
+#include "eval/scenario.h"
+#include "util/format.h"
+
+using namespace fpsm;
+
+int main(int argc, char** argv) {
+  auto cfg = bench::defaultConfig(argc, argv);
+  cfg.computeSpearman = false;
+  bench::printHeader("Fig. 13 (a)-(i): ideal-case experiments", cfg);
+  EvalHarness harness(cfg);
+  std::string summaries;
+  for (const auto& sc : idealScenarios()) {
+    const auto result = harness.run(sc);
+    std::printf("%s", renderScenarioResult(result).c_str());
+    if (const auto tsv = maybeWriteScenarioTsv(result); !tsv.empty()) {
+      std::printf("(series written to %s)\n", tsv.c_str());
+    }
+    summaries += renderScenarioSummary(result);
+  }
+  std::printf("%s%s", banner("summaries").c_str(), summaries.c_str());
+  return 0;
+}

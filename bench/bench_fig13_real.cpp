@@ -1,0 +1,29 @@
+// Fig. 13 (j)-(p): the seven real-world experiments (similar-service
+// training plus a 1/4 sample of the target; the full target measured).
+// Paper shape: fuzzyPSM leads on the weak (f>=4) head in most cases.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/render.h"
+#include "eval/scenario.h"
+#include "util/format.h"
+
+using namespace fpsm;
+
+int main(int argc, char** argv) {
+  auto cfg = bench::defaultConfig(argc, argv);
+  cfg.computeSpearman = false;
+  bench::printHeader("Fig. 13 (j)-(p): real-world experiments", cfg);
+  EvalHarness harness(cfg);
+  std::string summaries;
+  for (const auto& sc : realScenarios()) {
+    const auto result = harness.run(sc);
+    std::printf("%s", renderScenarioResult(result).c_str());
+    if (const auto tsv = maybeWriteScenarioTsv(result); !tsv.empty()) {
+      std::printf("(series written to %s)\n", tsv.c_str());
+    }
+    summaries += renderScenarioSummary(result);
+  }
+  std::printf("%s%s", banner("summaries").c_str(), summaries.c_str());
+  return 0;
+}

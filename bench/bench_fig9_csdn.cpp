@@ -1,0 +1,31 @@
+// Fig. 9 (a) and (b): comparison of the five prior PSMs plus fuzzyPSM with
+// the ideal meter on the CSDN ideal split (1/4 training vs 1/4 testing),
+// in terms of Kendall tau-b and Spearman rho over top-k prefixes.
+//
+// Paper shape to reproduce: the two metrics tell the same story;
+// PCFG-based beats Markov-based for measuring; the three rule-based
+// industry/standards meters trail the trained meters; NIST is last.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/render.h"
+#include "eval/scenario.h"
+
+using namespace fpsm;
+
+int main(int argc, char** argv) {
+  auto cfg = bench::defaultConfig(argc, argv);
+  cfg.computeSpearman = true;
+  bench::printHeader("Fig. 9: CSDN ideal case, Kendall + Spearman", cfg);
+  EvalHarness harness(cfg);
+
+  Scenario csdn;
+  for (const auto& s : idealScenarios()) {
+    if (s.testService == "CSDN") csdn = s;
+  }
+  const auto result = harness.run(csdn);
+  std::printf("%s", renderScenarioResult(result, /*useKendall=*/true).c_str());
+  std::printf("%s", renderScenarioResult(result, /*useKendall=*/false).c_str());
+  std::printf("\n%s", renderScenarioSummary(result).c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// League table across all 18 Table XI scenarios: per-meter mean Kendall
+// tau at the weak (f>=4) head and over the full range, plus win counts.
+// This is the one-screen distillation of Fig. 13 and the paper's headline
+// claims ("fuzzyPSM takes the first place in gauging weak passwords,
+// while being second in gauging strong passwords"; "in all cases academic
+// PSMs outperform PSMs from the industrial world").
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/render.h"
+#include "eval/scenario.h"
+#include "util/format.h"
+
+using namespace fpsm;
+
+namespace {
+
+struct Tally {
+  double headSum = 0;
+  double fullSum = 0;
+  int headWins = 0;
+  int fullWins = 0;
+  int runs = 0;
+};
+
+/// Index of the curve point closest to the reliable-head boundary.
+std::size_t headIndex(const ScenarioResult& r) {
+  const auto& pts = r.curves.front().kendall;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].k <= std::max<std::size_t>(r.reliableCount, 10)) idx = i;
+  }
+  return idx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = bench::defaultConfig(argc, argv);
+  cfg.computeSpearman = false;
+  bench::printHeader(
+      "Summary: all 18 Table XI scenarios, Kendall tau vs ideal", cfg);
+  EvalHarness harness(cfg);
+
+  std::map<std::string, Tally> tallies;
+  std::vector<std::string> meterOrder;
+  for (const auto& sc : allScenarios()) {
+    const auto result = harness.run(sc);
+    const std::size_t hIdx = headIndex(result);
+    std::size_t headBest = 0, fullBest = 0;
+    for (std::size_t m = 0; m < result.curves.size(); ++m) {
+      const auto& c = result.curves[m];
+      if (tallies.find(c.meter) == tallies.end()) {
+        meterOrder.push_back(c.meter);
+      }
+      Tally& t = tallies[c.meter];
+      t.headSum += c.kendall[hIdx].value;
+      t.fullSum += c.kendall.back().value;
+      ++t.runs;
+      if (c.kendall[hIdx].value >
+          result.curves[headBest].kendall[hIdx].value) {
+        headBest = m;
+      }
+      if (c.kendall.back().value >
+          result.curves[fullBest].kendall.back().value) {
+        fullBest = m;
+      }
+    }
+    ++tallies[result.curves[headBest].meter].headWins;
+    ++tallies[result.curves[fullBest].meter].fullWins;
+    std::printf("%s", renderScenarioSummary(result).c_str());
+  }
+
+  TextTable table({"meter", "mean tau @ weak head", "head wins",
+                   "mean tau @ full range", "full wins"});
+  for (const auto& name : meterOrder) {
+    const Tally& t = tallies[name];
+    table.addRow({name, fmtDouble(t.headSum / t.runs, 3),
+                  std::to_string(t.headWins),
+                  fmtDouble(t.fullSum / t.runs, 3),
+                  std::to_string(t.fullWins)});
+  }
+  std::printf("%s%s", banner("league table (18 scenarios)").c_str(),
+              table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Frequency-distribution report (the table the paper omits "due to space
+// constraints", Sec. V-B): per dataset, the singleton share, the f >= 4
+// reliable head (the region where the ideal meter is trusted, Sec. II-B),
+// and the fitted Zipf exponent of the rank-frequency head.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "corpus/frequency.h"
+#include "synth/profile.h"
+#include "util/format.h"
+
+using namespace fpsm;
+
+int main(int argc, char** argv) {
+  const auto cfg = bench::defaultConfig(argc, argv);
+  bench::printHeader("Frequency distribution / Zipf structure", cfg);
+  EvalHarness harness(cfg);
+
+  TextTable table({"Dataset", "distinct", "singletons", "singleton mass",
+                   "f>=4 distinct", "f>=4 mass", "zipf s", "fit R^2"});
+  for (const auto& p : ServiceProfile::paperServices(cfg.scale)) {
+    const Dataset& ds = harness.dataset(p.name);
+    const auto spec = frequencySpectrum(ds);
+    table.addRow({p.name, fmtCount(ds.unique()),
+                  fmtCount(spec.singletons), fmtPercent(spec.singletonMass),
+                  fmtCount(spec.reliableDistinct),
+                  fmtPercent(spec.reliableMass),
+                  fmtDouble(spec.zipf.exponent, 3),
+                  fmtDouble(spec.zipf.r2, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading: only the f>=4 mass is benchmarkable by the ideal meter "
+      "(relative standard error <= 1/sqrt(f), Bonneau'12); the fitted "
+      "exponent confirms the Zipf-like head real leaks show.\n");
+  return 0;
+}

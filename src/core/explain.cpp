@@ -1,0 +1,80 @@
+#include "core/explain.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/chars.h"
+
+namespace fpsm {
+namespace {
+
+std::string fmtProb(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", p);
+  return buf;
+}
+
+}  // namespace
+
+std::string DerivationExplanation::render() const {
+  std::string out;
+  for (const auto& step : steps) {
+    out += "  P(" + step.production + ") = " + fmtProb(step.probability) +
+           "\n";
+  }
+  if (std::isfinite(log2Probability)) {
+    out += "  => P = 2^" + fmtProb(log2Probability) + " = " +
+           fmtProb(std::exp2(log2Probability)) + "\n";
+  } else {
+    out += "  => P = 0 (some production was never observed)\n";
+  }
+  return out;
+}
+
+DerivationExplanation explainDerivation(const FuzzyPsm& psm,
+                                        std::string_view pw) {
+  DerivationExplanation ex;
+  ex.parse = psm.parse(pw);
+  double lp = 0.0;
+  bool zero = false;
+  auto push = [&](std::string production, double p) {
+    ex.steps.push_back({std::move(production), p});
+    if (p <= 0.0) {
+      zero = true;
+    } else {
+      lp += std::log2(p);
+    }
+  };
+
+  push("S -> " + ex.parse.structure,
+       psm.structures().probability(ex.parse.structure));
+  for (const auto& seg : ex.parse.segments) {
+    const SegmentTable* table = psm.segmentTable(seg.length());
+    push("B" + std::to_string(seg.length()) + " -> " + seg.base +
+             (seg.fromTrie ? "" : "  [fallback]"),
+         table == nullptr ? 0.0 : table->probability(seg.base));
+    const double capYes = psm.capitalizeYesProb();
+    push(std::string("Capitalize -> ") + (seg.capitalized ? "Yes" : "No"),
+         seg.capitalized ? capYes : 1.0 - capYes);
+    if (psm.config().matchReverse) {
+      const double revYes = psm.reverseYesProb();
+      push(std::string("Reverse -> ") + (seg.reversed ? "Yes" : "No"),
+           seg.reversed ? revYes : 1.0 - revYes);
+    }
+    for (const auto& site : seg.leetSites) {
+      const LeetRule& rule = kLeetRules[static_cast<std::size_t>(site.rule)];
+      const double yes = psm.leetYesProb(site.rule);
+      push("L" + std::to_string(site.rule + 1) + ": " +
+               std::string(1, rule.letter) + "<->" +
+               std::string(1, rule.sub) + " -> " +
+               (site.transformed ? "Yes" : "No"),
+           site.transformed ? yes : 1.0 - yes);
+    }
+  }
+  ex.log2Probability =
+      zero ? -std::numeric_limits<double>::infinity() : lp;
+  return ex;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,34 @@
+// Human-readable derivation explanations (the paper's Fig. 11 walkthrough
+// as an API): every production of a password's canonical derivation with
+// its probability, plus the final product — the "why" behind a score,
+// suitable for operator tooling and user-facing feedback.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_psm.h"
+
+namespace fpsm {
+
+struct DerivationStep {
+  std::string production;  ///< e.g. "S -> B8B1", "B8 -> p@ssword",
+                           ///< "Capitalize -> No", "L3: o<->0 -> Yes"
+  double probability;      ///< the factor this step contributes
+};
+
+struct DerivationExplanation {
+  FuzzyParse parse;
+  std::vector<DerivationStep> steps;
+  double log2Probability;  ///< sum of log2 of the steps (-inf if any 0)
+
+  /// Multi-line text rendering (one step per line, product last).
+  std::string render() const;
+};
+
+/// Explains psm.log2Prob(pw): the steps multiply to exactly that value
+/// (checked by tests). Works for untrained grammars too (every step 0).
+DerivationExplanation explainDerivation(const FuzzyPsm& psm,
+                                        std::string_view pw);
+
+}  // namespace fpsm

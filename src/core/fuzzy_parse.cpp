@@ -1,0 +1,185 @@
+#include "core/fuzzy_parse.h"
+
+#include <algorithm>
+
+#include "util/chars.h"
+#include "util/error.h"
+
+namespace fpsm {
+
+FuzzyParser::FuzzyParser(const Trie& trie, FuzzyConfig config,
+                         const Trie* reversedTrie)
+    : trie_(trie), reversedTrie_(reversedTrie), config_(config) {
+  if (config_.minBaseWordLen == 0) {
+    throw InvalidArgument("FuzzyParser: minBaseWordLen must be >= 1");
+  }
+  if (config_.transformationPrior < 0.0) {
+    throw InvalidArgument("FuzzyParser: negative transformationPrior");
+  }
+  if (config_.matchReverse && reversedTrie_ == nullptr) {
+    throw InvalidArgument(
+        "FuzzyParser: matchReverse requires a reversed trie");
+  }
+}
+
+FuzzyParser::MatchResult FuzzyParser::longestMatch(std::string_view pw,
+                                                   std::size_t from) const {
+  MatchResult best;
+  if (trie_.empty() || from >= pw.size()) return best;
+
+  // DFS over the trie. At each password character we try at most three
+  // trie-side characters: the character itself, its leet partner, and (for
+  // the segment's first character only) its lower-case form. The trie
+  // prunes almost immediately in practice; the node budget below bounds
+  // the adversarial case (a trie dense in leet-pair strings could
+  // otherwise branch exponentially on input like "a@a@a@...").
+  std::string path;
+  path.reserve(pw.size() - from);
+  constexpr int kNodeBudget = 20000;
+  int budget = kNodeBudget;
+
+  auto dfs = [&](auto&& self, Trie::NodeId node, std::size_t depth,
+                 int transformations) -> void {
+    if (--budget < 0) return;
+    if (trie_.isTerminal(node) && depth >= config_.minBaseWordLen) {
+      if (depth > best.len ||
+          (depth == best.len && transformations < best.transformations)) {
+        best.len = depth;
+        best.base = path;
+        best.transformations = transformations;
+      }
+    }
+    const std::size_t pos = from + depth;
+    if (pos >= pw.size()) return;
+    const char c = pw[pos];
+
+    struct Cand {
+      char ch;
+      int delta;
+    };
+    Cand cands[3];
+    int n = 0;
+    cands[n++] = {c, 0};
+    if (config_.matchLeet) {
+      // Only exact bidirectional pairs: 'A' maps toward '@' via its lower
+      // case, but '@' renders back as 'a', not 'A', so the roundtrip check
+      // excludes upper-case characters from leet matching.
+      if (const auto partner = leetPartner(c);
+          partner && leetPartner(*partner) == c) {
+        cands[n++] = {*partner, 1};
+      }
+    }
+    if (config_.matchCapitalization && depth == 0 && isUpper(c)) {
+      cands[n++] = {toLower(c), 1};
+    }
+    for (int k = 0; k < n; ++k) {
+      if (const auto child = trie_.child(node, cands[k].ch)) {
+        path.push_back(cands[k].ch);
+        self(self, *child, depth + 1, transformations + cands[k].delta);
+        path.pop_back();
+      }
+    }
+  };
+  dfs(dfs, Trie::kRoot, 0, 0);
+  return best;
+}
+
+std::vector<LeetSite> leetSitesFor(std::string_view base,
+                                   std::string_view rendered) {
+  std::vector<LeetSite> sites;
+  for (std::size_t p = 0; p < base.size(); ++p) {
+    const auto rule = leetRuleOf(base[p]);
+    if (!rule) continue;
+    const auto partner = leetPartner(base[p]);
+    const bool transformed =
+        p < rendered.size() && partner && rendered[p] == *partner;
+    sites.push_back({*rule, transformed});
+  }
+  return sites;
+}
+
+std::string renderSegment(std::string_view base, bool capitalized,
+                          const std::vector<LeetSite>& sites,
+                          bool reversed) {
+  std::string out(base);
+  std::size_t siteIdx = 0;
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    if (!leetRuleOf(out[p])) continue;
+    if (siteIdx < sites.size() && sites[siteIdx].transformed) {
+      if (const auto partner = leetPartner(out[p])) out[p] = *partner;
+    }
+    ++siteIdx;
+  }
+  if (capitalized && !out.empty() && isLower(out[0])) {
+    out[0] = toUpper(out[0]);
+  }
+  if (reversed) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+FuzzyParse FuzzyParser::parse(std::string_view pw) const {
+  validatePassword(pw);
+  FuzzyParse result;
+  std::size_t i = 0;
+  while (i < pw.size()) {
+    const MatchResult m = longestMatch(pw, i);
+    // Reverse extension: the longest *exact* backwards match; preferred
+    // only when strictly longer than the fuzzy forward match (forward
+    // matches carry richer transformation information).
+    std::size_t revLen = 0;
+    if (config_.matchReverse) {
+      revLen = reversedTrie_->longestPrefix(pw, i);
+      if (revLen < config_.minBaseWordLen || revLen <= m.len) revLen = 0;
+    }
+    FuzzySegment seg;
+    seg.begin = i;
+    if (revLen > 0) {
+      std::string base(pw.substr(i, revLen));
+      std::reverse(base.begin(), base.end());
+      seg.base = std::move(base);
+      seg.fromTrie = true;
+      seg.reversed = true;
+      seg.capitalized = false;
+      // Sites are decision points of the (unreversed) base form; a
+      // reversed segment uses none of them.
+      seg.leetSites = leetSitesFor(seg.base, seg.base);
+      i += revLen;
+    } else if (m.len >= config_.minBaseWordLen) {
+      seg.base = m.base;
+      seg.fromTrie = true;
+      seg.capitalized = isUpper(pw[i]) && !seg.base.empty() &&
+                        seg.base[0] == toLower(pw[i]);
+      seg.leetSites = leetSitesFor(seg.base, pw.substr(i, m.len));
+      i += m.len;
+    } else {
+      // Fallback: maximal same-class run (traditional PCFG segmentation).
+      const SegmentClass cls = segmentClassOf(pw[i]);
+      std::size_t j = i + 1;
+      while (j < pw.size() && segmentClassOf(pw[j]) == cls) {
+        if (config_.retryTrieInsideRuns &&
+            longestMatch(pw, j).len >= config_.minBaseWordLen) {
+          break;
+        }
+        ++j;
+      }
+      std::string base(pw.substr(i, j - i));
+      seg.fromTrie = false;
+      seg.capitalized = isUpper(base[0]);
+      if (seg.capitalized) base[0] = toLower(base[0]);
+      seg.base = std::move(base);
+      // Fallback text *is* the base form: every leet-capable character is
+      // an untransformed decision site (cf. the paper's B1 -> 1 example,
+      // which still contributes a P(L4 -> No) factor).
+      seg.leetSites = leetSitesFor(seg.base, seg.base);
+      i = j;
+    }
+    result.segments.push_back(std::move(seg));
+  }
+  for (const auto& s : result.segments) {
+    result.structure.push_back('B');
+    result.structure += std::to_string(s.length());
+  }
+  return result;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,121 @@
+// Fuzzy password parsing against the base-dictionary trie (paper Sec. IV-C).
+//
+// Each password is decomposed left to right by *fuzzy longest-prefix match*
+// against the trie of base words. The match is fuzzy in exactly the ways
+// fuzzyPSM models:
+//   - the first character of a segment may be the capitalization of the
+//     base word's first letter (Table V), and
+//   - any character may be the leet partner of the base character under
+//     the six rules of Table VI (a@ s$ o0 i1 e3 t7), per occurrence.
+//
+// Where no trie word matches (the paper's example: tyxdqd123 -> B6 B3),
+// the parser falls back to a maximal same-class L/D/S run, exactly the
+// traditional PCFG segmentation.
+//
+// Every parsed segment records its *base form* (the string that appears in
+// the grammar's B_n tables), whether its first letter was capitalized, and
+// a yes/no decision for every leet-capable character of the base form —
+// these are the grammar's transformation productions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trie/trie.h"
+
+namespace fpsm {
+
+struct FuzzyConfig {
+  /// Minimum base-word length stored in the trie (paper: 3).
+  std::size_t minBaseWordLen = 3;
+  /// Match capitalized first letters against lower-cased trie words.
+  bool matchCapitalization = true;
+  /// Match leet partners during the trie walk.
+  bool matchLeet = true;
+  /// If true, a fallback L/D/S run ends early where a trie word begins
+  /// inside the run (generalization; the paper consumes whole runs).
+  bool retryTrieInsideRuns = false;
+  /// Match base words written backwards ("drowssap" -> password) and model
+  /// a per-segment Reverse -> Yes|No rule. The paper lists the reverse
+  /// rule (survey Fig. 5) as future work; off by default for paper
+  /// fidelity. Reversed matches are exact (no capitalization/leet).
+  bool matchReverse = false;
+  /// Pseudo-count added to the yes and no sides of the capitalization and
+  /// leet rules (0 = pure maximum likelihood as in the paper's examples;
+  /// the default keeps rare transformations measurable on small corpora).
+  double transformationPrior = 0.5;
+};
+
+/// One leet decision site of a segment.
+struct LeetSite {
+  int rule;          ///< 0-based index into kLeetRules
+  bool transformed;  ///< the password used the partner character
+};
+
+struct FuzzySegment {
+  std::string base;   ///< base form as stored in the B_n table
+  std::size_t begin;  ///< offset in the password
+  bool fromTrie;      ///< matched a base-dictionary word (vs L/D/S fallback)
+  bool capitalized;   ///< first letter upper-cased relative to the base
+  bool reversed = false;  ///< written backwards (matchReverse extension)
+  std::vector<LeetSite> leetSites;  ///< one per leet-capable base character
+
+  std::size_t length() const { return base.size(); }
+};
+
+struct FuzzyParse {
+  std::vector<FuzzySegment> segments;
+  /// Base structure key, e.g. "B8B1" (paper Table IV's left-hand sides).
+  std::string structure;
+};
+
+/// Stateless parsing engine over a borrowed trie. The trie (and the
+/// optional reversed trie, required when config.matchReverse is set) must
+/// outlive the parser.
+class FuzzyParser {
+ public:
+  /// `reversedTrie` holds every base word written backwards; only
+  /// consulted when config.matchReverse is true.
+  FuzzyParser(const Trie& trie, FuzzyConfig config,
+              const Trie* reversedTrie = nullptr);
+
+  /// Result of the fuzzy longest-prefix match at one position.
+  struct MatchResult {
+    std::size_t len = 0;       ///< 0 = no match
+    std::string base;          ///< trie word matched
+    int transformations = 0;   ///< cap + leet changes used (tie-breaker)
+  };
+
+  /// Longest fuzzy trie match starting at `from`; ties between equal-length
+  /// matches are broken toward fewer transformations.
+  MatchResult longestMatch(std::string_view pw, std::size_t from) const;
+
+  /// Full parse: trie segments by fuzzy longest-prefix match, L/D/S run
+  /// fallback elsewhere. The segments tile the password exactly.
+  FuzzyParse parse(std::string_view pw) const;
+
+  const FuzzyConfig& config() const { return config_; }
+
+ private:
+  const Trie& trie_;
+  const Trie* reversedTrie_;
+  FuzzyConfig config_;
+};
+
+/// Recomputes the leet decision sites for a segment: one site per
+/// leet-capable character of `base`, `transformed` where the password text
+/// uses the partner. Exposed for reuse by sampling/enumeration.
+std::vector<LeetSite> leetSitesFor(std::string_view base,
+                                   std::string_view rendered);
+
+/// Renders a base form with the given transformations applied (capitalize
+/// first letter if requested and possible; flip the sites marked
+/// transformed; finally reverse if requested). Inverse of parsing a
+/// segment.
+std::string renderSegment(std::string_view base, bool capitalized,
+                          const std::vector<LeetSite>& sites,
+                          bool reversed = false);
+
+}  // namespace fpsm

@@ -1,0 +1,122 @@
+// fuzzyPSM — the paper's contribution (Sec. IV): a password strength meter
+// based on a fuzzy probabilistic context-free grammar.
+//
+// Grammar G = (V, Sigma, S, R):
+//   S   -> B_{n1} B_{n2} ...            (base structures, Table IV)
+//   B_n -> w                            (base segments of length n)
+//   per segment: Capitalize -> Yes|No   (first letter, Table V)
+//   per leet-capable character of the base form: L_k -> Yes|No (Table VI)
+//
+// Training (Sec. IV-C):
+//   1. A *base dictionary* B — passwords leaked from a less sensitive
+//      service — is lower-cased, filtered to length >= 3, and loaded into
+//      a trie.
+//   2. Every password of the *training dictionary* T is parsed by fuzzy
+//      longest-prefix match (src/core/fuzzy_parse.h); the observed base
+//      structures, base segments, and transformation decisions are counted.
+//      Spans no trie word covers fall back to traditional PCFG L/D/S runs
+//      and are counted in the same B_n tables (the paper's tyxdqd123
+//      example).
+//
+// Measuring multiplies the production probabilities of the password's
+// canonical (longest-prefix) derivation — the paper's Fig. 11 walkthrough.
+// The update phase folds accepted passwords back into the counts, making
+// the meter adaptive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fuzzy_parse.h"
+#include "corpus/dataset.h"
+#include "meters/segment_table.h"
+#include "model/probabilistic.h"
+#include "trie/trie.h"
+#include "util/chars.h"
+
+namespace fpsm {
+
+class FuzzyPsm : public ProbabilisticModel {
+ public:
+  explicit FuzzyPsm(FuzzyConfig config = {});
+
+  /// Loads the base dictionary: every distinct password, lower-cased, of
+  /// length >= config.minBaseWordLen enters the trie.
+  void loadBaseDictionary(const Dataset& base);
+
+  /// Adds a single base word (lower-cased; ignored if too short).
+  void addBaseWord(std::string_view word);
+
+  /// Parses and counts every password of the training dictionary,
+  /// weighted by frequency.
+  void train(const Dataset& training);
+
+  /// The update phase: folds n occurrences of an accepted password into
+  /// the grammar (paper Sec. IV-C, "update").
+  void update(std::string_view pw, std::uint64_t n = 1);
+
+  // Meter / ProbabilisticModel interface.
+  std::string name() const override { return "fuzzyPSM"; }
+  double log2Prob(std::string_view pw) const override;
+  std::string sample(Rng& rng) const override;
+  bool supportsEnumeration() const override { return true; }
+  void enumerateGuesses(std::uint64_t maxGuesses,
+                        const GuessCallback& cb) const override;
+
+  /// Canonical parse of pw under the current base dictionary (diagnostics,
+  /// tests, and the worked Fig. 11 example).
+  FuzzyParse parse(std::string_view pw) const;
+
+  // --- grammar introspection (Tables IV-VI, serialization, tests) -------
+  const FuzzyConfig& config() const { return config_; }
+  const Trie& baseDictionary() const { return trie_; }
+  const SegmentTable& structures() const { return structures_; }
+  /// Table for B_n, or nullptr if no segment of that length was seen.
+  const SegmentTable* segmentTable(std::size_t len) const;
+  /// P(Capitalize -> Yes) (Table V), including the configured prior.
+  double capitalizeYesProb() const;
+  /// P(L_rule -> Yes) (Table VI), including the configured prior.
+  double leetYesProb(int rule) const;
+  /// P(Reverse -> Yes) (matchReverse extension; 0 unless enabled).
+  double reverseYesProb() const;
+  std::uint64_t trainedPasswords() const { return trainedPasswords_; }
+  bool trained() const { return structures_.total() > 0; }
+
+  /// log2 probability of one explicit derivation (structure + segments +
+  /// transformation decisions). Measuring is derivationLog2Prob(parse(pw)).
+  double derivationLog2Prob(const FuzzyParse& parse) const;
+
+  // --- serialization -----------------------------------------------------
+  /// Writes the full grammar (base words, counts, config) as text.
+  void save(std::ostream& out) const;
+  /// Reads a grammar previously written by save().
+  static FuzzyPsm load(std::istream& in);
+
+ private:
+  double capProb(bool yes) const;
+  double leetProb(int rule, bool yes) const;
+  double revProb(bool yes) const;
+
+  FuzzyConfig config_;
+  Trie trie_;
+  Trie reversedTrie_;  // populated only when config_.matchReverse
+  std::vector<std::string> baseWords_;  // for serialization
+
+  SegmentTable structures_;
+  std::unordered_map<std::size_t, SegmentTable> segments_;
+  std::uint64_t capYes_ = 0;
+  std::uint64_t capTotal_ = 0;
+  std::uint64_t revYes_ = 0;
+  std::uint64_t revTotal_ = 0;
+  std::array<std::uint64_t, kNumLeetRules> leetYes_{};
+  std::array<std::uint64_t, kNumLeetRules> leetTotal_{};
+  std::uint64_t trainedPasswords_ = 0;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,93 @@
+#include "core/suggest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/chars.h"
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+constexpr std::string_view kInsertables =
+    "!@#$%^&*?_-+=.~0123456789abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// One random single-character edit.
+std::string randomEdit(std::string_view pw, Rng& rng) {
+  std::string out(pw);
+  const double r = rng.uniform();
+  if (r < 0.5 || out.empty()) {
+    // Insert at a random position (interior positions break the patterns
+    // attackers model; favour them over the predictable append).
+    const std::size_t pos = out.empty() ? 0 : rng.below(out.size() + 1);
+    out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+               kInsertables[rng.below(kInsertables.size())]);
+  } else if (r < 0.8) {
+    // Substitute a random character.
+    const std::size_t pos = rng.below(out.size());
+    out[pos] = kInsertables[rng.below(kInsertables.size())];
+  } else {
+    // Flip the case of a random letter (mid-word case changes are cheap
+    // for the user and expensive for first-letter-only models).
+    std::vector<std::size_t> letters;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (isLetter(out[i])) letters.push_back(i);
+    }
+    if (letters.empty()) {
+      const std::size_t pos = rng.below(out.size() + 1);
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 kInsertables[rng.below(kInsertables.size())]);
+    } else {
+      const std::size_t pos = letters[rng.below(letters.size())];
+      out[pos] = isUpper(out[pos]) ? toLower(out[pos]) : toUpper(out[pos]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Suggestion> suggestStrongerPassword(
+    const Meter& meter, std::string_view pw, const SuggestionConfig& config,
+    Rng& rng) {
+  validatePassword(pw);
+  if (config.maxEdits < 1 || config.candidatesPerEdit < 1) {
+    throw InvalidArgument("suggestStrongerPassword: bad config");
+  }
+
+  // The original might already qualify.
+  if (meter.strengthBits(pw) >= config.targetBits) {
+    return Suggestion{std::string(pw), meter.strengthBits(pw), 0};
+  }
+
+  // Beam over edit levels: keep the strongest few candidates of each
+  // level as seeds for the next, return on the first that qualifies.
+  std::vector<std::string> seeds = {std::string(pw)};
+  for (int edit = 1; edit <= config.maxEdits; ++edit) {
+    std::vector<std::pair<double, std::string>> level;
+    for (const auto& seed : seeds) {
+      for (int c = 0; c < config.candidatesPerEdit; ++c) {
+        std::string candidate = randomEdit(seed, rng);
+        const double bits = meter.strengthBits(candidate);
+        if (bits >= config.targetBits) {
+          return Suggestion{std::move(candidate), bits, edit};
+        }
+        level.emplace_back(bits, std::move(candidate));
+      }
+    }
+    // Seed the next level with the strongest near-misses (finite first:
+    // +inf candidates already returned above).
+    std::sort(level.begin(), level.end(), [](const auto& a, const auto& b) {
+      return a.first > b.first;
+    });
+    seeds.clear();
+    for (std::size_t i = 0; i < level.size() && i < 4; ++i) {
+      seeds.push_back(std::move(level[i].second));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fpsm

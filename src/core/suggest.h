@@ -1,0 +1,43 @@
+// Stronger-password suggestion (the capability Houshmand & Aggarwal's
+// PCFG-based PSM adds on rejection, ACSAC'12 — the paper's baseline [34]:
+// "suggest better password candidates if the strength of a user's
+// original password is below the allowed threshold").
+//
+// Given a rejected password, propose a variant within a small edit
+// distance whose strength under the meter clears the threshold — users
+// keep something close to what they typed, the attacker's model no longer
+// predicts it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/meter.h"
+#include "util/rng.h"
+
+namespace fpsm {
+
+struct SuggestionConfig {
+  double targetBits = 40.0;  ///< required strengthBits of the suggestion
+  int maxEdits = 2;          ///< edit-distance budget (H&A guarantee: <= 2)
+  int candidatesPerEdit = 48;  ///< random candidates tried per edit level
+};
+
+struct Suggestion {
+  std::string password;
+  double bits;
+  int edits;
+};
+
+/// Proposes a variant of `pw` with meter.strengthBits >= config.targetBits
+/// within config.maxEdits single-character edits (insert / substitute /
+/// case-flip). Prefers fewer edits; among equal-edit candidates returns
+/// the first sufficiently strong one found (rng-dependent). Returns
+/// nullopt when no candidate within budget clears the threshold.
+std::optional<Suggestion> suggestStrongerPassword(const Meter& meter,
+                                                  std::string_view pw,
+                                                  const SuggestionConfig& config,
+                                                  Rng& rng);
+
+}  // namespace fpsm

@@ -1,0 +1,145 @@
+#include "corpus/analysis.h"
+
+#include <algorithm>
+
+#include "util/chars.h"
+
+namespace fpsm {
+namespace {
+
+struct Flags {
+  bool hasLower = false, hasUpper = false, hasDigit = false,
+       hasSymbol = false;
+};
+
+Flags scan(std::string_view pw) {
+  Flags f;
+  for (char c : pw) {
+    switch (classOf(c)) {
+      case CharClass::Lower: f.hasLower = true; break;
+      case CharClass::Upper: f.hasUpper = true; break;
+      case CharClass::Digit: f.hasDigit = true; break;
+      default: f.hasSymbol = true; break;
+    }
+  }
+  return f;
+}
+
+bool matchesDigitsThen(std::string_view pw, bool lowerOnlyTail) {
+  std::size_t i = 0;
+  while (i < pw.size() && isDigit(pw[i])) ++i;
+  if (i == 0 || i == pw.size()) return false;
+  for (std::size_t j = i; j < pw.size(); ++j) {
+    const char c = pw[j];
+    if (lowerOnlyTail ? !isLower(c) : !isLetter(c)) return false;
+  }
+  return true;
+}
+
+bool matchesLettersThenDigits(std::string_view pw) {
+  std::size_t i = 0;
+  while (i < pw.size() && isLetter(pw[i])) ++i;
+  if (i == 0 || i == pw.size()) return false;
+  for (std::size_t j = i; j < pw.size(); ++j) {
+    if (!isDigit(pw[j])) return false;
+  }
+  return true;
+}
+
+bool matchesLowerThenOne(std::string_view pw) {
+  if (pw.size() < 2 || pw.back() != '1') return false;
+  for (std::size_t i = 0; i + 1 < pw.size(); ++i) {
+    if (!isLower(pw[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TopK topK(const Dataset& ds, std::size_t k) {
+  TopK out;
+  auto sorted = ds.sortedByFrequency();
+  if (sorted.size() > k) sorted.resize(k);
+  std::uint64_t head = 0;
+  for (const auto& e : sorted) head += e.count;
+  out.entries = std::move(sorted);
+  out.headMass = ds.total() == 0
+                     ? 0.0
+                     : static_cast<double>(head) /
+                           static_cast<double>(ds.total());
+  return out;
+}
+
+CompositionStats compositionStats(const Dataset& ds) {
+  CompositionStats s;
+  if (ds.total() == 0) return s;
+  ds.forEach([&](std::string_view pw, std::uint64_t c) {
+    const Flags f = scan(pw);
+    const auto w = static_cast<double>(c);
+    if (f.hasLower && !f.hasUpper && !f.hasDigit && !f.hasSymbol)
+      s.onlyLower += w;
+    if (f.hasLower) s.hasLower += w;
+    if (f.hasUpper && !f.hasLower && !f.hasDigit && !f.hasSymbol)
+      s.onlyUpper += w;
+    if (f.hasUpper) s.hasUpper += w;
+    if ((f.hasLower || f.hasUpper) && !f.hasDigit && !f.hasSymbol)
+      s.onlyLetters += w;
+    if (f.hasLower || f.hasUpper) s.hasLetter += w;
+    if (f.hasDigit && !f.hasLower && !f.hasUpper && !f.hasSymbol)
+      s.onlyDigits += w;
+    if (f.hasDigit) s.hasDigit += w;
+    if (f.hasSymbol && !f.hasLower && !f.hasUpper && !f.hasDigit)
+      s.onlySymbols += w;
+    if (!f.hasSymbol) s.alnumOnly += w;
+    if (matchesDigitsThen(pw, /*lowerOnlyTail=*/true)) s.digitsThenLower += w;
+    if (matchesLettersThenDigits(pw)) s.lettersThenDigits += w;
+    if (matchesDigitsThen(pw, /*lowerOnlyTail=*/false))
+      s.digitsThenLetters += w;
+    if (matchesLowerThenOne(pw)) s.lowerThenOne += w;
+  });
+  const auto total = static_cast<double>(ds.total());
+  for (double* field :
+       {&s.onlyLower, &s.hasLower, &s.onlyUpper, &s.hasUpper, &s.onlyLetters,
+        &s.hasLetter, &s.onlyDigits, &s.hasDigit, &s.onlySymbols,
+        &s.alnumOnly, &s.digitsThenLower, &s.lettersThenDigits,
+        &s.digitsThenLetters, &s.lowerThenOne}) {
+    *field /= total;
+  }
+  return s;
+}
+
+LengthDistribution lengthDistribution(const Dataset& ds) {
+  LengthDistribution d;
+  if (ds.total() == 0) return d;
+  ds.forEach([&](std::string_view pw, std::uint64_t c) {
+    const auto w = static_cast<double>(c);
+    const std::size_t len = pw.size();
+    if (len <= 5) {
+      d.short1to5 += w;
+    } else if (len >= 15) {
+      d.long15plus += w;
+    } else {
+      d.exact[len - 6] += w;
+    }
+  });
+  const auto total = static_cast<double>(ds.total());
+  d.short1to5 /= total;
+  d.long15plus /= total;
+  for (double& v : d.exact) v /= total;
+  return d;
+}
+
+double overlapFraction(const Dataset& a, const Dataset& b,
+                       std::uint64_t minFreq) {
+  std::uint64_t eligible = 0;
+  std::uint64_t shared = 0;
+  a.forEach([&](std::string_view pw, std::uint64_t c) {
+    if (c < minFreq) return;
+    ++eligible;
+    if (b.contains(pw)) ++shared;
+  });
+  if (eligible == 0) return 0.0;
+  return static_cast<double>(shared) / static_cast<double>(eligible);
+}
+
+}  // namespace fpsm

@@ -1,0 +1,57 @@
+// Dataset characteristic analyzers reproducing the paper's descriptive
+// statistics: Table VIII (top-10 passwords), Table IX (character
+// composition), Table X (length distribution) and Fig. 12 (pairwise
+// password overlap).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.h"
+
+namespace fpsm {
+
+/// Top-k most frequent passwords plus the fraction of the multiset they
+/// account for ("% of top-10" row of Table VIII).
+struct TopK {
+  std::vector<Dataset::Entry> entries;
+  double headMass = 0.0;
+};
+TopK topK(const Dataset& ds, std::size_t k);
+
+/// One column of Table IX. All fractions are occurrence-weighted.
+struct CompositionStats {
+  double onlyLower = 0;        ///< ^[a-z]+$
+  double hasLower = 0;         ///< [a-z]
+  double onlyUpper = 0;        ///< ^[A-Z]+$
+  double hasUpper = 0;         ///< [A-Z]
+  double onlyLetters = 0;      ///< ^[A-Za-z]+$
+  double hasLetter = 0;        ///< [a-zA-Z]
+  double onlyDigits = 0;       ///< ^[0-9]+$
+  double hasDigit = 0;         ///< [0-9]
+  double onlySymbols = 0;      ///< symbol only
+  double alnumOnly = 0;        ///< ^[a-zA-Z0-9]+$
+  double digitsThenLower = 0;  ///< ^[0-9]+[a-z]+$
+  double lettersThenDigits = 0;///< ^[a-zA-Z]+[0-9]+$
+  double digitsThenLetters = 0;///< ^[0-9]+[a-zA-Z]+$
+  double lowerThenOne = 0;     ///< ^[a-z]+1$
+};
+CompositionStats compositionStats(const Dataset& ds);
+
+/// Length buckets of Table X: [1..5], 6, 7, ..., 14, [15..). Fractions are
+/// occurrence-weighted and sum to 1 for a non-empty dataset.
+struct LengthDistribution {
+  double short1to5 = 0;
+  std::array<double, 9> exact = {};  // lengths 6..14
+  double long15plus = 0;
+};
+LengthDistribution lengthDistribution(const Dataset& ds);
+
+/// Fig. 12: fraction of the distinct passwords of `a` (restricted to those
+/// with frequency >= minFreq in `a`) that also occur in `b`.
+double overlapFraction(const Dataset& a, const Dataset& b,
+                       std::uint64_t minFreq = 1);
+
+}  // namespace fpsm

@@ -1,0 +1,89 @@
+#include "corpus/dataset.h"
+
+#include <algorithm>
+
+#include "util/chars.h"
+#include "util/error.h"
+
+namespace fpsm {
+
+void Dataset::add(std::string_view pw, std::uint64_t n) {
+  if (n == 0) return;
+  validatePassword(pw);
+  auto it = counts_.find(pw);
+  if (it == counts_.end()) {
+    counts_.emplace(std::string(pw), n);
+  } else {
+    it->second += n;
+  }
+  total_ += n;
+  sortedDirty_ = true;
+}
+
+void Dataset::merge(const Dataset& other) {
+  other.forEach([this](std::string_view pw, std::uint64_t c) { add(pw, c); });
+}
+
+std::uint64_t Dataset::frequency(std::string_view pw) const {
+  const auto it = counts_.find(pw);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Dataset::probability(std::string_view pw) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(frequency(pw)) / static_cast<double>(total_);
+}
+
+std::vector<Dataset::Entry> Dataset::sortedByFrequency() && {
+  return static_cast<const Dataset&>(*this).sortedByFrequency();  // copy out
+}
+
+const std::vector<Dataset::Entry>& Dataset::sortedByFrequency() const& {
+  if (sortedDirty_) {
+    sortedCache_.clear();
+    sortedCache_.reserve(counts_.size());
+    for (const auto& [pw, c] : counts_) sortedCache_.push_back({pw, c});
+    std::sort(sortedCache_.begin(), sortedCache_.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.count != b.count) return a.count > b.count;
+                return a.password < b.password;
+              });
+    sortedDirty_ = false;
+  }
+  return sortedCache_;
+}
+
+std::string_view Dataset::sampleOccurrence(Rng& rng) const {
+  if (total_ == 0) throw InvalidArgument("sampleOccurrence: empty dataset");
+  std::uint64_t target = rng.below(total_);
+  for (const auto& [pw, c] : counts_) {
+    if (target < c) return pw;
+    target -= c;
+  }
+  // unreachable: counts sum to total_
+  throw Error("sampleOccurrence: internal accounting error");
+}
+
+std::vector<Dataset> randomSplit(const Dataset& ds, std::size_t parts,
+                                 Rng& rng) {
+  if (parts == 0) throw InvalidArgument("randomSplit: parts == 0");
+  std::vector<Dataset> out(parts);
+  for (std::size_t i = 0; i < parts; ++i) {
+    out[i].setName(ds.name() + "/" + std::to_string(i + 1) + "of" +
+                   std::to_string(parts));
+  }
+  ds.forEach([&](std::string_view pw, std::uint64_t c) {
+    // Multinomial assignment of the c occurrences across parts; for large c
+    // draw each occurrence independently is O(c) — counts in password data
+    // are heavily skewed but the totals here are bounded by dataset size,
+    // so the straightforward loop is fine and exactly matches the protocol.
+    std::vector<std::uint64_t> share(parts, 0);
+    for (std::uint64_t k = 0; k < c; ++k) ++share[rng.below(parts)];
+    for (std::size_t i = 0; i < parts; ++i) {
+      if (share[i] > 0) out[i].add(pw, share[i]);
+    }
+  });
+  return out;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,80 @@
+// Password dataset: a frequency-weighted multiset of passwords.
+//
+// This mirrors the leaked-list corpora of the paper (Table VII): each list
+// is a multiset (Total PWs) over a set of distinct strings (Unique PWs).
+// Training, testing, and the ideal meter all operate on this type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace fpsm {
+
+class Dataset {
+ public:
+  struct Entry {
+    std::string password;
+    std::uint64_t count;
+  };
+
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+
+  /// Adds `n` occurrences of pw. Throws InvalidArgument on invalid input
+  /// (empty or non-printable) — dataset loaders filter such lines first.
+  void add(std::string_view pw, std::uint64_t n = 1);
+
+  /// Merges all entries of `other` into this dataset.
+  void merge(const Dataset& other);
+
+  std::uint64_t total() const { return total_; }
+  std::size_t unique() const { return counts_.size(); }
+  bool empty() const { return counts_.empty(); }
+
+  /// Occurrences of pw (0 if absent).
+  std::uint64_t frequency(std::string_view pw) const;
+
+  bool contains(std::string_view pw) const { return frequency(pw) > 0; }
+
+  /// Empirical probability f(pw)/N (0 if absent or empty dataset).
+  double probability(std::string_view pw) const;
+
+  /// All entries ordered by descending count, ties broken lexicographically
+  /// so every run is deterministic. Cached; invalidated by add()/merge().
+  /// The rvalue overload returns by value so iterating the result of a
+  /// call on a temporary (`makeDataset().sortedByFrequency()`) is safe.
+  const std::vector<Entry>& sortedByFrequency() const&;
+  std::vector<Entry> sortedByFrequency() &&;
+
+  /// All entries in unspecified (hash) order — cheap, for full scans.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& [pw, c] : counts_) fn(std::string_view(pw), c);
+  }
+
+  /// Draws one password occurrence uniformly from the multiset.
+  std::string_view sampleOccurrence(Rng& rng) const;
+
+ private:
+  std::string name_;
+  StringMap<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  mutable std::vector<Entry> sortedCache_;
+  mutable bool sortedDirty_ = true;
+};
+
+/// Randomly partitions the multiset into `parts` datasets: each occurrence
+/// lands in a uniformly random part (this is the paper's "randomly split
+/// into equally four parts" protocol, Sec. IV-A).
+std::vector<Dataset> randomSplit(const Dataset& ds, std::size_t parts,
+                                 Rng& rng);
+
+}  // namespace fpsm

@@ -1,0 +1,44 @@
+#include "corpus/frequency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace fpsm {
+
+FrequencySpectrum frequencySpectrum(const Dataset& ds,
+                                    std::size_t fitHead) {
+  if (ds.unique() < 2) {
+    throw InvalidArgument("frequencySpectrum: need >= 2 distinct passwords");
+  }
+  FrequencySpectrum out;
+  std::map<std::uint64_t, std::uint64_t> fof;
+  ds.forEach([&](std::string_view, std::uint64_t c) { ++fof[c]; });
+  std::uint64_t singletonMass = 0;
+  std::uint64_t reliableMass = 0;
+  for (const auto& [f, n] : fof) {
+    out.spectrum.emplace_back(f, n);
+    if (f == 1) {
+      out.singletons = n;
+      singletonMass = n;
+    }
+    if (f >= 4) {
+      out.reliableDistinct += n;
+      reliableMass += f * n;
+    }
+  }
+  const auto total = static_cast<double>(ds.total());
+  out.singletonMass = static_cast<double>(singletonMass) / total;
+  out.reliableMass = static_cast<double>(reliableMass) / total;
+
+  std::vector<std::uint64_t> headFreqs;
+  for (const auto& e : ds.sortedByFrequency()) {
+    headFreqs.push_back(e.count);
+    if (headFreqs.size() >= fitHead) break;
+  }
+  out.zipf = fitZipf(headFreqs);
+  return out;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,35 @@
+// Frequency-distribution analysis of a password dataset.
+//
+// The paper omits its frequency-distribution table "due to space
+// constraints" but leans on the Zipf structure of password popularity
+// throughout (the ideal meter's f >= 4 reliability bound comes from the
+// empirical-frequency error model of Bonneau'12). This analyzer makes the
+// distribution explicit: frequency-of-frequency counts, head/tail mass,
+// and a Zipf fit of the rank-frequency curve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "stats/zipf.h"
+
+namespace fpsm {
+
+struct FrequencySpectrum {
+  /// spectrum[i] = {frequency f, number of distinct passwords with that
+  /// frequency}, ascending in f.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spectrum;
+  std::uint64_t singletons = 0;      ///< distinct passwords with f == 1
+  std::uint64_t reliableDistinct = 0;///< distinct with f >= 4 (paper bound)
+  double singletonMass = 0.0;        ///< fraction of occurrences with f == 1
+  double reliableMass = 0.0;         ///< fraction of occurrences with f >= 4
+  ZipfFit zipf{};                    ///< fit over the top of the ranking
+};
+
+/// Computes the spectrum; the Zipf fit uses the top `fitHead` ranks
+/// (clamped to the number of distinct passwords; needs >= 2).
+FrequencySpectrum frequencySpectrum(const Dataset& ds,
+                                    std::size_t fitHead = 1000);
+
+}  // namespace fpsm

@@ -1,0 +1,61 @@
+#include "corpus/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/chars.h"
+#include "util/error.h"
+
+namespace fpsm {
+
+LoadStats loadDataset(std::istream& in, Dataset& out) {
+  LoadStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view pw = line;
+    std::uint64_t count = 1;
+    if (const auto tab = line.find('\t'); tab != std::string::npos) {
+      pw = std::string_view(line).substr(0, tab);
+      const std::string_view rest = std::string_view(line).substr(tab + 1);
+      const auto res =
+          std::from_chars(rest.data(), rest.data() + rest.size(), count);
+      if (res.ec != std::errc{} || res.ptr != rest.data() + rest.size() ||
+          count == 0) {
+        ++stats.rejected;
+        continue;
+      }
+    }
+    if (!isValidPassword(pw)) {
+      ++stats.rejected;
+      continue;
+    }
+    out.add(pw, count);
+    stats.accepted += count;
+  }
+  return stats;
+}
+
+LoadStats loadDatasetFile(const std::string& path, Dataset& out) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open dataset file: " + path);
+  return loadDataset(in, out);
+}
+
+void saveDataset(const Dataset& ds, std::ostream& out) {
+  for (const auto& e : ds.sortedByFrequency()) {
+    out << e.password << '\t' << e.count << '\n';
+  }
+}
+
+void saveDatasetFile(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open file for writing: " + path);
+  saveDataset(ds, out);
+  out.flush();
+  if (!out) throw IoError("write failed: " + path);
+}
+
+}  // namespace fpsm

@@ -1,0 +1,34 @@
+// Dataset file I/O.
+//
+// Format: one entry per line, either "password" (count 1) or
+// "password<TAB>count". Lines that are empty or contain non-printable
+// characters are skipped and counted as rejects, mirroring the cleaning
+// step every password-leak study performs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "corpus/dataset.h"
+
+namespace fpsm {
+
+struct LoadStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+};
+
+/// Reads a dataset from a stream. Appends to `out`.
+LoadStats loadDataset(std::istream& in, Dataset& out);
+
+/// Reads a dataset from a file path. Throws IoError if unreadable.
+LoadStats loadDatasetFile(const std::string& path, Dataset& out);
+
+/// Writes "password<TAB>count" lines, descending frequency.
+void saveDataset(const Dataset& ds, std::ostream& out);
+
+/// Writes to a file path. Throws IoError on failure.
+void saveDatasetFile(const Dataset& ds, const std::string& path);
+
+}  // namespace fpsm

@@ -1,0 +1,108 @@
+#include "eval/defense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace fpsm {
+
+double calibrateThreshold(const Meter& meter, const Dataset& calibration,
+                          double percentile) {
+  if (percentile <= 0.0 || percentile >= 1.0) {
+    throw InvalidArgument("calibrateThreshold: percentile must be in (0,1)");
+  }
+  if (calibration.empty()) {
+    throw InvalidArgument("calibrateThreshold: empty calibration corpus");
+  }
+  // Occurrence-weighted bits: popular passwords count once per occurrence,
+  // matching the distribution of registration attempts the gate will see.
+  const auto entries = calibration.sortedByFrequency();
+  std::vector<double> bits(entries.size());
+  parallelFor(entries.size(), [&](std::size_t i) {
+    bits[i] = meter.strengthBits(entries[i].password);
+  });
+  std::vector<std::pair<double, std::uint64_t>> weighted(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    weighted[i] = {bits[i], entries[i].count};
+  }
+  std::sort(weighted.begin(), weighted.end());
+  const double targetMass =
+      percentile * static_cast<double>(calibration.total());
+  double acc = 0.0;
+  for (const auto& [b, count] : weighted) {
+    acc += static_cast<double>(count);
+    if (acc >= targetMass) return b;
+  }
+  return weighted.back().first;
+}
+
+double trawlingCompromise(const Dataset& corpus, std::uint64_t budget) {
+  if (corpus.total() == 0) return 0.0;
+  std::uint64_t covered = 0;
+  std::uint64_t guesses = 0;
+  for (const auto& e : corpus.sortedByFrequency()) {
+    if (guesses >= budget) break;
+    ++guesses;
+    covered += e.count;
+  }
+  return static_cast<double>(covered) / static_cast<double>(corpus.total());
+}
+
+DefenseResult simulateDefense(const Meter* meter,
+                              const DatasetGenerator& generator,
+                              const PopulationModel& population,
+                              const ServiceProfile& service,
+                              const Dataset& calibration,
+                              const DefenseConfig& config) {
+  DefenseResult result;
+  result.meterName = meter == nullptr ? "(no gate)" : meter->name();
+  if (meter != nullptr) {
+    result.threshold =
+        calibrateThreshold(*meter, calibration, config.rejectPercentile);
+  }
+
+  StringHash h;
+  Rng rng(config.seed ^ h(service.name));
+  const Vocabulary vocab(service.language);
+  const SurveyModel survey = generator.surveyFor(service);
+  const std::size_t users = population.userCount(service.language);
+  const std::size_t offset = rng.below(users);
+
+  Dataset accepted(service.name + "+gate");
+  std::uint64_t firstRejections = 0;
+  std::uint64_t gaveUp = 0;
+  std::uint64_t proposals = 0;
+  for (std::size_t i = 0; i < config.accounts; ++i) {
+    const UserProfile& user = population.user(service.language, offset + i);
+    std::string pw;
+    bool acceptedByGate = false;
+    for (int attempt = 0; attempt <= config.maxRetries; ++attempt) {
+      pw = generator.proposeFor(user, service, vocab, survey, rng);
+      ++proposals;
+      if (meter == nullptr || meter->strengthBits(pw) >= result.threshold) {
+        acceptedByGate = true;
+        break;
+      }
+      if (attempt == 0) ++firstRejections;
+    }
+    if (!acceptedByGate) ++gaveUp;  // gate yields, password still recorded
+    accepted.add(pw);
+  }
+
+  result.rejectionRate = static_cast<double>(firstRejections) /
+                         static_cast<double>(config.accounts);
+  result.gaveUpRate =
+      static_cast<double>(gaveUp) / static_cast<double>(config.accounts);
+  result.meanProposals =
+      static_cast<double>(proposals) / static_cast<double>(config.accounts);
+  result.compromisedOnline =
+      trawlingCompromise(accepted, config.onlineBudget);
+  result.distinctAccepted = accepted.unique();
+  return result;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,68 @@
+// Policy-defense simulation: how much does deploying a given PSM as a
+// *mandatory* registration gate (paper Sec. II-B: meters that reject
+// passwords below a threshold) actually reduce what a trawling attacker
+// compromises?
+//
+// Protocol:
+//   1. Calibrate: score a calibration corpus with the meter and set the
+//      rejection threshold at a chosen percentile of occurrence-weighted
+//      strength — this makes meters with incomparable scales (bits vs
+//      heuristic entropy) reject the same *fraction* of attempts, so the
+//      comparison isolates *which* passwords each meter rejects.
+//   2. Register: every account proposes passwords via the survey behaviour
+//      model; on rejection the user tries again (modifying harder or
+//      picking fresh), up to maxRetries, then the service gives in and
+//      accepts (the paper's "suggestive" fallback — pure lockouts drive
+//      users away).
+//   3. Attack: a trawling attacker with perfect knowledge of the resulting
+//      distribution guesses in descending popularity order with the
+//      online (~10^4) and offline (~10^9, i.e. everything guessable)
+//      budgets of Table I. Compromised mass = fraction of accounts hit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "model/meter.h"
+#include "synth/generator.h"
+
+namespace fpsm {
+
+struct DefenseConfig {
+  double rejectPercentile = 0.15;  ///< weakest share of attempts to reject
+  int maxRetries = 3;              ///< user attempts before the gate yields
+  std::uint64_t onlineBudget = 10000;  ///< Table I online guess budget
+  std::size_t accounts = 20000;
+  std::uint64_t seed = 2016;
+};
+
+struct DefenseResult {
+  std::string meterName;
+  double threshold = 0.0;       ///< calibrated strengthBits cutoff
+  double rejectionRate = 0.0;   ///< first proposals rejected
+  double gaveUpRate = 0.0;      ///< accounts accepted via retry exhaustion
+  double meanProposals = 0.0;   ///< user effort (1.0 = never rejected)
+  double compromisedOnline = 0.0;   ///< account mass in attacker's top-N
+  std::size_t distinctAccepted = 0;
+};
+
+/// The occurrence-weighted strengthBits percentile of a corpus under a
+/// meter (the calibration step). percentile in (0, 1).
+double calibrateThreshold(const Meter& meter, const Dataset& calibration,
+                          double percentile);
+
+/// Runs the full simulate-register-attack protocol for one meter.
+/// `nullptr` meter = no gate (the baseline deployment).
+DefenseResult simulateDefense(const Meter* meter,
+                              const DatasetGenerator& generator,
+                              const PopulationModel& population,
+                              const ServiceProfile& service,
+                              const Dataset& calibration,
+                              const DefenseConfig& config);
+
+/// Fraction of `corpus` occurrences covered by its own top-`budget`
+/// distinct passwords — the perfect-knowledge trawling attacker.
+double trawlingCompromise(const Dataset& corpus, std::uint64_t budget);
+
+}  // namespace fpsm

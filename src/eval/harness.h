@@ -1,0 +1,84 @@
+// Experiment harness: builds the synthetic corpora, trains the six meters
+// per Table XI scenario, and computes the paper's rank-correlation curves
+// (Kendall tau-b and Spearman rho against the practically ideal meter,
+// over the top-k ideal-ranked passwords).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "eval/scenario.h"
+#include "model/meter.h"
+#include "stats/correlation.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+struct HarnessConfig {
+  // Corpus synthesis.
+  double scale = 0.003;  ///< fraction of the paper's dataset sizes
+  std::size_t minAccounts = 3000;
+  std::size_t chineseUsers = 60000;
+  std::size_t englishUsers = 60000;
+  std::uint64_t populationSeed = 0xC0FFEE;
+  std::uint64_t generatorSeed = 0xBEEF;
+  std::uint64_t splitSeed = 0x5EED;
+
+  // Meters.
+  int markovOrder = 4;
+
+  // Curves.
+  std::size_t curvePoints = 12;
+  bool computeSpearman = true;
+};
+
+struct MeterCurve {
+  std::string meter;
+  std::vector<CurvePoint> kendall;
+  std::vector<CurvePoint> spearman;  // empty if disabled
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  std::size_t evaluatedPasswords = 0;  ///< distinct test passwords ranked
+  std::size_t reliableCount = 0;       ///< those with frequency >= 4
+  std::vector<MeterCurve> curves;      ///< one per meter, fuzzyPSM first
+};
+
+class EvalHarness {
+ public:
+  explicit EvalHarness(HarnessConfig config = {});
+  ~EvalHarness();
+
+  /// The service's synthetic dataset (generated once, cached).
+  const Dataset& dataset(const std::string& service);
+
+  /// Deterministic 4-way split of a service's dataset (cached).
+  const std::vector<Dataset>& quarters(const std::string& service);
+
+  /// Runs one Table XI scenario end to end.
+  ScenarioResult run(const Scenario& scenario);
+
+  const HarnessConfig& config() const { return config_; }
+
+ private:
+  HarnessConfig config_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Correlation of one meter against the ideal ranking of a test set.
+///
+/// `test` supplies the empirical benchmark; every distinct test password is
+/// ranked by descending frequency (the practically ideal meter); the
+/// meter's strengthBits are rank-correlated against the ideal's over
+/// log-spaced top-k prefixes. Standalone so benches can evaluate ad-hoc
+/// meter/corpus pairs.
+MeterCurve correlationAgainstIdeal(const Meter& meter, const Dataset& test,
+                                   std::size_t curvePoints,
+                                   bool computeSpearman);
+
+}  // namespace fpsm

@@ -1,0 +1,180 @@
+#include "eval/render.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+
+#include "corpus/analysis.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace fpsm {
+
+std::string renderScenarioResult(const ScenarioResult& result,
+                                 bool useKendall) {
+  std::vector<std::string> header = {"top-k"};
+  for (const auto& c : result.curves) header.push_back(c.meter);
+  TextTable table(header);
+
+  const auto& reference =
+      useKendall ? result.curves.front().kendall
+                 : result.curves.front().spearman;
+  for (std::size_t row = 0; row < reference.size(); ++row) {
+    std::vector<std::string> cells;
+    cells.push_back(fmtCount(reference[row].k));
+    for (const auto& c : result.curves) {
+      const auto& points = useKendall ? c.kendall : c.spearman;
+      cells.push_back(row < points.size() ? fmtDouble(points[row].value, 3)
+                                          : "-");
+    }
+    table.addRow(std::move(cells));
+  }
+  std::string out = banner(result.scenario.id + (useKendall ? "  (Kendall tau-b vs ideal)"
+                                                            : "  (Spearman rho vs ideal)"));
+  out += "test passwords: " + fmtCount(result.evaluatedPasswords) +
+         " distinct, " + fmtCount(result.reliableCount) +
+         " with f>=4 (reliable head)\n";
+  out += table.render();
+  return out;
+}
+
+std::string renderScenarioSummary(const ScenarioResult& result) {
+  // Winner at the weak head: the largest k whose prefix stays within the
+  // reliable (f>=4) region; winner overall: the last curve point.
+  auto winnerAt = [&](std::size_t pointIdx) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.curves.size(); ++i) {
+      const auto& pts = result.curves[i].kendall;
+      const auto& bestPts = result.curves[best].kendall;
+      if (pointIdx < pts.size() && pointIdx < bestPts.size() &&
+          pts[pointIdx].value > bestPts[pointIdx].value) {
+        best = i;
+      }
+    }
+    return best;
+  };
+  const auto& pts = result.curves.front().kendall;
+  std::size_t headIdx = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].k <= std::max<std::size_t>(result.reliableCount, 10)) {
+      headIdx = i;
+    }
+  }
+  const std::size_t headWinner = winnerAt(headIdx);
+  const std::size_t overallWinner = winnerAt(pts.size() - 1);
+  std::string out = result.scenario.id + ": weak-head (k=" +
+                    fmtCount(pts[headIdx].k) + ") leader = " +
+                    result.curves[headWinner].meter + " (" +
+                    fmtDouble(result.curves[headWinner].kendall[headIdx].value, 3) +
+                    "), full-range leader = " +
+                    result.curves[overallWinner].meter + " (" +
+                    fmtDouble(result.curves[overallWinner].kendall.back().value, 3) +
+                    ")\n";
+  return out;
+}
+
+std::string renderTopTenTable(const std::vector<const Dataset*>& datasets) {
+  std::vector<std::string> header = {"Rank"};
+  for (const auto* ds : datasets) header.push_back(ds->name());
+  TextTable table(header);
+  std::vector<TopK> tops;
+  tops.reserve(datasets.size());
+  for (const auto* ds : datasets) tops.push_back(topK(*ds, 10));
+  for (std::size_t r = 0; r < 10; ++r) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(r + 1));
+    for (const auto& t : tops) {
+      cells.push_back(r < t.entries.size() ? t.entries[r].password : "-");
+    }
+    table.addRow(std::move(cells));
+  }
+  std::vector<std::string> massRow = {"% top-10"};
+  for (const auto& t : tops) massRow.push_back(fmtPercent(t.headMass));
+  table.addRow(std::move(massRow));
+  return table.render();
+}
+
+std::string renderCompositionTable(
+    const std::vector<const Dataset*>& datasets) {
+  TextTable table({"Dataset", "^[a-z]+$", "[a-z]", "^[A-Z]+$", "[A-Z]",
+                   "^[A-Za-z]+$", "[a-zA-Z]", "^[0-9]+$", "[0-9]",
+                   "SymOnly", "^[alnum]+$", "^[0-9]+[a-z]+$",
+                   "^[a-zA-Z]+[0-9]+$", "^[0-9]+[a-zA-Z]+$", "^[a-z]+1$"});
+  for (const auto* ds : datasets) {
+    const auto s = compositionStats(*ds);
+    table.addRow({ds->name(), fmtPercent(s.onlyLower), fmtPercent(s.hasLower),
+                  fmtPercent(s.onlyUpper), fmtPercent(s.hasUpper),
+                  fmtPercent(s.onlyLetters), fmtPercent(s.hasLetter),
+                  fmtPercent(s.onlyDigits), fmtPercent(s.hasDigit),
+                  fmtPercent(s.onlySymbols), fmtPercent(s.alnumOnly),
+                  fmtPercent(s.digitsThenLower),
+                  fmtPercent(s.lettersThenDigits),
+                  fmtPercent(s.digitsThenLetters),
+                  fmtPercent(s.lowerThenOne)});
+  }
+  return table.render();
+}
+
+std::string renderLengthTable(const std::vector<const Dataset*>& datasets) {
+  TextTable table({"Dataset", "1-5", "6", "7", "8", "9", "10", "11", "12",
+                   "13", "14", ">=15"});
+  for (const auto* ds : datasets) {
+    const auto d = lengthDistribution(*ds);
+    std::vector<std::string> cells = {ds->name(), fmtPercent(d.short1to5)};
+    for (double v : d.exact) cells.push_back(fmtPercent(v));
+    cells.push_back(fmtPercent(d.long15plus));
+    table.addRow(std::move(cells));
+  }
+  return table.render();
+}
+
+std::string renderOverlapMatrix(const std::vector<const Dataset*>& datasets,
+                                std::uint64_t minFreq) {
+  std::vector<std::string> header = {"A \\ B (f>=" +
+                                     std::to_string(minFreq) + ")"};
+  for (const auto* ds : datasets) header.push_back(ds->name());
+  TextTable table(header);
+  for (const auto* a : datasets) {
+    std::vector<std::string> cells = {a->name()};
+    for (const auto* b : datasets) {
+      cells.push_back(a == b ? "-" : fmtPercent(overlapFraction(*a, *b, minFreq), 1));
+    }
+    table.addRow(std::move(cells));
+  }
+  return table.render();
+}
+
+std::string writeScenarioTsv(const ScenarioResult& result,
+                             const std::string& dir) {
+  std::string id = result.scenario.id;
+  for (char& c : id) {
+    if (c == ':' || c == '/') c = '_';
+  }
+  const std::string path = dir + "/" + id + ".tsv";
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot write TSV: " + path);
+  out << "k";
+  for (const auto& c : result.curves) out << '\t' << c.meter;
+  out << '\n';
+  const auto& reference = result.curves.front().kendall;
+  for (std::size_t row = 0; row < reference.size(); ++row) {
+    out << reference[row].k;
+    for (const auto& c : result.curves) {
+      out << '\t'
+          << (row < c.kendall.size() ? fmtDouble(c.kendall[row].value, 6)
+                                     : "nan");
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) throw IoError("TSV write failed: " + path);
+  return path;
+}
+
+std::string maybeWriteScenarioTsv(const ScenarioResult& result) {
+  const char* dir = std::getenv("FPSM_TSV_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  return writeScenarioTsv(result, dir);
+}
+
+}  // namespace fpsm

@@ -1,0 +1,46 @@
+// Text renderers turning harness results into the paper's tables and
+// figure series (aligned monospace output for the bench binaries).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "eval/harness.h"
+
+namespace fpsm {
+
+/// Renders one scenario's correlation curves as a k x meter table
+/// (one row per top-k prefix, one column per meter) — the text analogue of
+/// a Fig. 13 subplot. `useKendall` false renders the Spearman curves.
+std::string renderScenarioResult(const ScenarioResult& result,
+                                 bool useKendall = true);
+
+/// Summary line: which meter leads at the weak head (smallest k at or
+/// below the reliable count) and on the full prefix.
+std::string renderScenarioSummary(const ScenarioResult& result);
+
+/// Renders Table VIII (top-10 passwords + head mass) for several datasets.
+std::string renderTopTenTable(const std::vector<const Dataset*>& datasets);
+
+/// Renders Table IX (character composition).
+std::string renderCompositionTable(const std::vector<const Dataset*>& datasets);
+
+/// Renders Table X (length distribution).
+std::string renderLengthTable(const std::vector<const Dataset*>& datasets);
+
+/// Renders the Fig. 12 pairwise-overlap matrix at a frequency threshold.
+std::string renderOverlapMatrix(const std::vector<const Dataset*>& datasets,
+                                std::uint64_t minFreq);
+
+/// Writes one scenario's Kendall curves as a gnuplot-friendly TSV file
+/// "<dir>/<scenario-id>.tsv" (columns: k, then one per meter; ':' in the
+/// id becomes '_'). Returns the path written. Throws IoError on failure.
+std::string writeScenarioTsv(const ScenarioResult& result,
+                             const std::string& dir);
+
+/// Convenience for benches: writes the TSV when the FPSM_TSV_DIR
+/// environment variable is set; returns the path or "" if disabled.
+std::string maybeWriteScenarioTsv(const ScenarioResult& result);
+
+}  // namespace fpsm

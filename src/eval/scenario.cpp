@@ -1,0 +1,66 @@
+#include "eval/scenario.h"
+
+namespace fpsm {
+namespace {
+
+Scenario make(Scenario::Kind kind, std::string base, std::string train,
+              std::string test) {
+  Scenario s;
+  switch (kind) {
+    case Scenario::Kind::Ideal: s.id = "ideal:" + test; break;
+    case Scenario::Kind::RealWorld: s.id = "real:" + test; break;
+    case Scenario::Kind::CrossLanguage: s.id = "xlang:" + test; break;
+  }
+  s.kind = kind;
+  s.baseService = std::move(base);
+  s.trainService = std::move(train);
+  s.testService = std::move(test);
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> idealScenarios() {
+  using K = Scenario::Kind;
+  return {
+      make(K::Ideal, "Rockyou", "", "Phpbb"),
+      make(K::Ideal, "Rockyou", "", "Yahoo"),
+      make(K::Ideal, "Rockyou", "", "Battlefield"),
+      make(K::Ideal, "Rockyou", "", "Singles"),
+      make(K::Ideal, "Rockyou", "", "Faithwriters"),
+      make(K::Ideal, "Tianya", "", "Weibo"),
+      make(K::Ideal, "Tianya", "", "Dodonew"),
+      make(K::Ideal, "Tianya", "", "CSDN"),
+      make(K::Ideal, "Tianya", "", "Zhenai"),
+  };
+}
+
+std::vector<Scenario> realScenarios() {
+  using K = Scenario::Kind;
+  return {
+      make(K::RealWorld, "Rockyou", "Phpbb", "Yahoo"),
+      make(K::RealWorld, "Rockyou", "Phpbb", "Battlefield"),
+      make(K::RealWorld, "Rockyou", "Phpbb", "Singles"),
+      make(K::RealWorld, "Rockyou", "Phpbb", "Faithwriters"),
+      make(K::RealWorld, "Tianya", "Weibo", "Dodonew"),
+      make(K::RealWorld, "Tianya", "Weibo", "CSDN"),
+      make(K::RealWorld, "Tianya", "Weibo", "Zhenai"),
+  };
+}
+
+std::vector<Scenario> crossLanguageScenarios() {
+  using K = Scenario::Kind;
+  return {
+      make(K::CrossLanguage, "Rockyou", "Phpbb", "Dodonew"),
+      make(K::CrossLanguage, "Tianya", "Weibo", "Yahoo"),
+  };
+}
+
+std::vector<Scenario> allScenarios() {
+  std::vector<Scenario> all = idealScenarios();
+  for (auto& s : realScenarios()) all.push_back(std::move(s));
+  for (auto& s : crossLanguageScenarios()) all.push_back(std::move(s));
+  return all;
+}
+
+}  // namespace fpsm

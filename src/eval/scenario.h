@@ -1,0 +1,40 @@
+// The paper's training/testing scenarios (Table XI).
+//
+// Ideal case: train on a random 1/4 of the test service's passwords,
+// measure another 1/4 (removes training-set mismatch; Fig. 13 a-i).
+// Real-world case: train on a similar service's full leak plus a 1/4
+// sample of the target, measure the full target (Fig. 13 j-p).
+// Cross-language: train on the other language's data (Fig. 13 q-r).
+//
+// fuzzyPSM additionally takes a base dictionary: the weakest service of
+// the language group (Rockyou for English, Tianya for Chinese).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fpsm {
+
+struct Scenario {
+  enum class Kind { Ideal, RealWorld, CrossLanguage };
+
+  std::string id;           ///< e.g. "ideal:CSDN", "real:Yahoo"
+  Kind kind;
+  std::string baseService;  ///< fuzzyPSM base dictionary (Rockyou/Tianya)
+  std::string trainService; ///< empty for Ideal (train = 1/4 of test)
+  std::string testService;
+};
+
+/// Fig. 13 (a)-(i): the nine ideal-case experiments.
+std::vector<Scenario> idealScenarios();
+
+/// Fig. 13 (j)-(p): the seven real-world experiments.
+std::vector<Scenario> realScenarios();
+
+/// Fig. 13 (q)-(r): the two cross-language experiments.
+std::vector<Scenario> crossLanguageScenarios();
+
+/// All eighteen, in figure order.
+std::vector<Scenario> allScenarios();
+
+}  // namespace fpsm

@@ -1,0 +1,45 @@
+#include "meters/ideal/ideal.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace fpsm {
+
+IdealMeter::IdealMeter(const Dataset& sample) : data_(sample) {
+  if (data_.total() == 0) throw InvalidArgument("IdealMeter: empty sample");
+}
+
+double IdealMeter::log2Prob(std::string_view pw) const {
+  const double p = data_.probability(pw);
+  return p > 0.0 ? std::log2(p) : -kInfiniteBits;
+}
+
+std::string IdealMeter::sample(Rng& rng) const {
+  return std::string(data_.sampleOccurrence(rng));
+}
+
+void IdealMeter::enumerateGuesses(std::uint64_t maxGuesses,
+                                  const GuessCallback& cb) const {
+  std::uint64_t emitted = 0;
+  for (const auto& e : data_.sortedByFrequency()) {
+    if (emitted >= maxGuesses) return;
+    ++emitted;
+    if (!cb(e.password, log2Prob(e.password))) return;
+  }
+}
+
+std::uint64_t IdealMeter::guessNumber(std::string_view pw) const {
+  const std::uint64_t f = data_.frequency(pw);
+  if (f == 0) return 0;
+  // Rank = 1 + number of distinct passwords with strictly higher count,
+  // computed from the cached descending order.
+  std::uint64_t rank = 1;
+  for (const auto& e : data_.sortedByFrequency()) {
+    if (e.count <= f) break;
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace fpsm

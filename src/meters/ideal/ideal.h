@@ -1,0 +1,46 @@
+// The practically ideal meter (paper Sec. II-B).
+//
+// For a large sample DS drawn from the target distribution, the empirical
+// probability f(pw)/|DS| approximates the true probability with relative
+// standard error ~ 1/sqrt(f). Sorting DS by descending empirical
+// probability yields the benchmark guess-number ordering every real meter
+// is compared against. The paper treats the comparison as meaningful only
+// for passwords with f >= 4 (kReliableFrequency).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "corpus/dataset.h"
+#include "model/probabilistic.h"
+
+namespace fpsm {
+
+class IdealMeter : public ProbabilisticModel {
+ public:
+  /// Paper's reliability cutoff: empirical probabilities are trusted for
+  /// passwords occurring at least this often in the sample.
+  static constexpr std::uint64_t kReliableFrequency = 4;
+
+  /// Copies the sample (the meter owns its benchmark data).
+  explicit IdealMeter(const Dataset& sample);
+
+  std::string name() const override { return "Ideal"; }
+  double log2Prob(std::string_view pw) const override;
+  std::string sample(Rng& rng) const override;
+  bool supportsEnumeration() const override { return true; }
+  void enumerateGuesses(std::uint64_t maxGuesses,
+                        const GuessCallback& cb) const override;
+
+  /// Exact guess number: the 1-based position of pw in the descending
+  /// frequency order (ties share the rank of their block's first element).
+  /// Returns 0 if pw is not in the sample.
+  std::uint64_t guessNumber(std::string_view pw) const;
+
+  const Dataset& data() const { return data_; }
+
+ private:
+  Dataset data_;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,173 @@
+#include "meters/keepsm/keepsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/chars.h"
+#include "util/wordlists.h"
+
+namespace fpsm {
+namespace {
+
+double classSpaceBits(char c) {
+  switch (classOf(c)) {
+    case CharClass::Lower: return std::log2(26.0);
+    case CharClass::Upper: return std::log2(26.0);
+    case CharClass::Digit: return std::log2(10.0);
+    default: return std::log2(33.0);  // printable symbols
+  }
+}
+
+/// Length of the repetition of the immediately preceding block ending
+/// before i: the longest L with pw[i..i+L) == pw[i-L..i).
+std::size_t repeatLenAt(std::string_view pw, std::size_t i) {
+  std::size_t best = 0;
+  for (std::size_t L = 1; L <= i && i + L <= pw.size(); ++L) {
+    if (pw.substr(i, L) == pw.substr(i - L, L)) best = L;
+  }
+  return best;
+}
+
+/// Length of the arithmetic character run starting at i (|step| <= 4,
+/// step != 0), e.g. "abcd", "1357", "zyx".
+std::size_t diffSeqLenAt(std::string_view pw, std::size_t i) {
+  if (i + 2 >= pw.size()) return 0;
+  const int step = static_cast<int>(pw[i + 1]) - static_cast<int>(pw[i]);
+  if (step == 0 || step > 4 || step < -4) return 0;
+  std::size_t len = 2;
+  while (i + len < pw.size() &&
+         static_cast<int>(pw[i + len]) - static_cast<int>(pw[i + len - 1]) ==
+             step) {
+    ++len;
+  }
+  return len >= 3 ? len : 0;
+}
+
+/// Length of the digit run starting at i.
+std::size_t digitRunLenAt(std::string_view pw, std::size_t i) {
+  std::size_t len = 0;
+  while (i + len < pw.size() && isDigit(pw[i + len])) ++len;
+  return len;
+}
+
+}  // namespace
+
+KeepsmMeter::KeepsmMeter() {
+  int rank = 0;
+  for (const auto list :
+       {words::commonPasswords(), words::chineseCommonPasswords(),
+        words::englishWords(),
+        words::englishNames(), words::keyboardWalks()}) {
+    for (const auto w : list) {
+      if (w.size() < 3) continue;
+      const std::string lower = toLowerCopy(w);
+      if (ranks_.contains(lower)) continue;
+      dict_.insert(lower);
+      ranks_.emplace(lower, rank);
+      ++rank;
+    }
+  }
+}
+
+KeepsmMeter::WordMatch KeepsmMeter::bestWordAt(std::string_view pw,
+                                               std::size_t i) const {
+  // Walk the trie, folding case everywhere and decoding leet substitutes.
+  // Branching is at most 2 per character so a recursive DFS suffices.
+  WordMatch best;
+  struct Walker {
+    const KeepsmMeter& self;
+    std::string_view pw;
+    std::size_t start;
+    WordMatch& best;
+    std::string path;
+
+    void visit(Trie::NodeId node, std::size_t depth, int leet,
+               int caseMods) {
+      if (self.dict_.isTerminal(node) && depth >= 3) {
+        const auto it = self.ranks_.find(path);
+        if (it != self.ranks_.end()) {
+          const double cost = std::log2(static_cast<double>(it->second) + 2.0) +
+                              (caseMods > 0 ? 1.0 : 0.0) + 1.5 * leet;
+          if (depth > best.len || (depth == best.len && cost < best.cost)) {
+            best.len = depth;
+            best.cost = cost;
+          }
+        }
+      }
+      if (start + depth >= pw.size()) return;
+      const char c = pw[start + depth];
+      // Candidate dictionary-side characters for this password character.
+      const char lower = toLower(c);
+      struct Cand {
+        char ch;
+        int leetDelta;
+        int caseDelta;
+      };
+      Cand cands[2];
+      int n = 0;
+      cands[n++] = {lower, 0, isUpper(c) ? 1 : 0};
+      if (const auto partner = leetPartner(c);
+          partner && isLower(*partner)) {
+        cands[n++] = {*partner, 1, 0};
+      }
+      for (int k = 0; k < n; ++k) {
+        if (const auto child = self.dict_.child(node, cands[k].ch)) {
+          path.push_back(cands[k].ch);
+          visit(*child, depth + 1, leet + cands[k].leetDelta,
+                caseMods + cands[k].caseDelta);
+          path.pop_back();
+        }
+      }
+    }
+  };
+  Walker w{*this, pw, i, best, {}};
+  w.visit(Trie::kRoot, 0, 0, 0);
+  return best;
+}
+
+double KeepsmMeter::strengthBits(std::string_view pw) const {
+  const std::size_t n = pw.size();
+  if (n == 0) return 0.0;
+  constexpr double kInf = 1e18;
+  std::vector<double> best(n + 1, kInf);
+  best[0] = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (best[i] >= kInf) continue;
+
+    // Single character.
+    best[i + 1] = std::min(best[i + 1], best[i] + classSpaceBits(pw[i]));
+
+    // Dictionary word (longest match only — KeePass keeps one per start).
+    if (const auto wm = bestWordAt(pw, i); wm.len >= 3) {
+      best[i + wm.len] = std::min(best[i + wm.len], best[i] + wm.cost);
+    }
+
+    // Repetition of the preceding block.
+    if (const std::size_t rl = repeatLenAt(pw, i); rl > 0) {
+      const double cost = 1.5 + std::log2(static_cast<double>(rl));
+      best[i + rl] = std::min(best[i + rl], best[i] + cost);
+    }
+
+    // Number run.
+    if (const std::size_t dl = digitRunLenAt(pw, i); dl >= 3) {
+      double value = 0.0;
+      for (std::size_t k = 0; k < dl; ++k) {
+        value = value * 10.0 + (pw[i + k] - '0');
+      }
+      const double cost = 2.0 + std::log2(value + 1.0);
+      best[i + dl] = std::min(best[i + dl], best[i] + cost);
+    }
+
+    // Difference sequence.
+    if (const std::size_t sl = diffSeqLenAt(pw, i); sl >= 3) {
+      const double cost = classSpaceBits(pw[i]) +
+                          std::log2(static_cast<double>(sl)) + 3.2;
+      best[i + sl] = std::min(best[i + sl], best[i] + cost);
+    }
+  }
+  return best[n];
+}
+
+}  // namespace fpsm

@@ -1,0 +1,49 @@
+// KeePSM — the KeePass 2.x password quality estimator (Reichl — the
+// paper's baseline [36]).
+//
+// KeePass estimates quality by covering the password with *patterns* and
+// charging each pattern its encoding cost in bits, choosing the cover with
+// the minimum total cost via dynamic programming. Patterns (clean-room
+// reimplementation from the public KeePass documentation; costs are our
+// documented approximation, see DESIGN.md §2):
+//
+//   - single character: log2(size of its character class space)
+//   - popular word (ranked dictionary, case-insensitive, leet-decoded):
+//     log2(rank+2), +1 if the case was modified, +1.5 per leet substitution
+//   - repetition of the immediately preceding block: 1.5 + log2(block len)
+//   - number run (>= 3 digits): 2 + log2(value + 1)
+//   - difference sequence (arithmetic char run, |step| <= 4, len >= 3):
+//     log2(class space) + log2(len) + 3.2
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "model/meter.h"
+#include "trie/trie.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+class KeepsmMeter : public Meter {
+ public:
+  KeepsmMeter();
+
+  std::string name() const override { return "KeePSM"; }
+  double strengthBits(std::string_view pw) const override;
+
+ private:
+  struct WordMatch {
+    std::size_t len = 0;
+    double cost = 0.0;
+  };
+
+  /// Best dictionary word starting at position i (longest, then cheapest),
+  /// exploring case folding and leet decoding along the trie walk.
+  WordMatch bestWordAt(std::string_view pw, std::size_t i) const;
+
+  Trie dict_;
+  StringMap<int> ranks_;
+};
+
+}  // namespace fpsm

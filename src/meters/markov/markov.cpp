@@ -1,0 +1,420 @@
+#include "meters/markov/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "util/chars.h"
+#include "util/error.h"
+#include "util/textio.h"
+
+namespace fpsm {
+namespace {
+
+constexpr std::size_t kMaxEnumLength = 32;
+constexpr int kMaxBands = 128;
+
+/// The 96 predicted symbols: every printable char plus the end marker.
+template <typename Fn>
+void forEachSymbol(Fn&& fn) {
+  for (int c = 0x20; c <= 0x7e; ++c) fn(static_cast<char>(c));
+  fn(MarkovModel::kEnd);
+}
+
+}  // namespace
+
+std::uint64_t MarkovModel::ContextStats::count(char c) const {
+  const auto it = std::lower_bound(
+      next.begin(), next.end(), c,
+      [](const auto& p, char ch) { return p.first < ch; });
+  if (it != next.end() && it->first == c) return it->second;
+  return 0;
+}
+
+void MarkovModel::ContextStats::add(char c, std::uint64_t n) {
+  const auto it = std::lower_bound(
+      next.begin(), next.end(), c,
+      [](const auto& p, char ch) { return p.first < ch; });
+  if (it != next.end() && it->first == c) {
+    it->second += n;
+  } else {
+    next.insert(it, {c, n});
+  }
+  total += n;
+}
+
+MarkovModel::MarkovModel(MarkovConfig config) : config_(config) {
+  if (config_.order < 1 || config_.order > 8) {
+    throw InvalidArgument("MarkovModel: order must be in [1, 8]");
+  }
+  if (config_.discount <= 0.0 || config_.discount >= 1.0) {
+    throw InvalidArgument("MarkovModel: discount must be in (0, 1)");
+  }
+  if (config_.delta <= 0.0) {
+    throw InvalidArgument("MarkovModel: delta must be positive");
+  }
+}
+
+std::string MarkovModel::name() const {
+  switch (config_.smoothing) {
+    case MarkovSmoothing::Backoff: return "Markov-PSM";
+    case MarkovSmoothing::Laplace: return "Markov-PSM(laplace)";
+    case MarkovSmoothing::GoodTuring: return "Markov-PSM(goodturing)";
+  }
+  return "Markov-PSM";
+}
+
+void MarkovModel::train(const Dataset& ds) {
+  ds.forEach(
+      [this](std::string_view pw, std::uint64_t c) { update(pw, c); });
+}
+
+void MarkovModel::update(std::string_view pw, std::uint64_t n) {
+  validatePassword(pw);
+  if (n == 0) return;
+  const auto order = static_cast<std::size_t>(config_.order);
+  std::string padded(order, kStart);
+  padded += pw;
+  padded += kEnd;
+  for (std::size_t i = order; i < padded.size(); ++i) {
+    // All context lengths 0..order are counted so backoff has every level.
+    for (std::size_t k = 0; k <= order; ++k) {
+      const std::string_view ctx =
+          std::string_view(padded).substr(i - k, k);
+      auto it = contexts_.find(ctx);
+      if (it == contexts_.end()) {
+        it = contexts_.emplace(std::string(ctx), ContextStats{}).first;
+      }
+      it->second.add(padded[i], n);
+    }
+  }
+  trained_ = true;
+}
+
+const MarkovModel::ContextStats* MarkovModel::find(
+    std::string_view ctx) const {
+  const auto it = contexts_.find(ctx);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+double MarkovModel::probBackoff(std::string_view history, char c) const {
+  // Interpolated absolute discounting, built bottom-up from the uniform
+  // distribution through increasingly long context suffixes.
+  double p = 1.0 / kAlphabet;
+  const double d = config_.discount;
+  for (std::size_t len = 0; len <= history.size(); ++len) {
+    const std::string_view ctx = history.substr(history.size() - len, len);
+    const ContextStats* stats = find(ctx);
+    if (stats == nullptr || stats->total == 0) continue;
+    const auto total = static_cast<double>(stats->total);
+    const auto cnt = static_cast<double>(stats->count(c));
+    const double base = cnt > 0.0 ? (cnt - d) / total : 0.0;
+    const double backoffWeight =
+        d * static_cast<double>(stats->next.size()) / total;
+    p = base + backoffWeight * p;
+  }
+  return p;
+}
+
+double MarkovModel::probLaplace(std::string_view ctx, char c) const {
+  const ContextStats* stats = find(ctx);
+  const double total =
+      stats == nullptr ? 0.0 : static_cast<double>(stats->total);
+  const double cnt =
+      stats == nullptr ? 0.0 : static_cast<double>(stats->count(c));
+  return (cnt + config_.delta) / (total + config_.delta * kAlphabet);
+}
+
+double MarkovModel::probGoodTuring(std::string_view ctx, char c) const {
+  const ContextStats* stats = find(ctx);
+  if (stats == nullptr || stats->total == 0) return 1.0 / kAlphabet;
+
+  // Per-context frequency-of-frequency table (at most 96 continuations).
+  std::map<std::uint64_t, std::uint64_t> fof;
+  for (const auto& [sym, cnt] : stats->next) ++fof[cnt];
+  auto adjusted = [&](std::uint64_t cnt) {
+    const auto nc = fof.find(cnt);
+    const auto nc1 = fof.find(cnt + 1);
+    if (nc == fof.end() || nc1 == fof.end()) {
+      return static_cast<double>(cnt);
+    }
+    return static_cast<double>(cnt + 1) *
+           static_cast<double>(nc1->second) /
+           static_cast<double>(nc->second);
+  };
+
+  double seenMass = 0.0;
+  for (const auto& [sym, cnt] : stats->next) seenMass += adjusted(cnt);
+  const auto n1It = fof.find(1);
+  const double unseenMass =
+      n1It == fof.end() ? 0.0 : static_cast<double>(n1It->second);
+  const int numUnseen = kAlphabet - static_cast<int>(stats->next.size());
+  const double z = seenMass + (numUnseen > 0 ? unseenMass : 0.0);
+  if (z <= 0.0) return 1.0 / kAlphabet;
+
+  const std::uint64_t cnt = stats->count(c);
+  if (cnt > 0) return adjusted(cnt) / z;
+  if (numUnseen > 0 && unseenMass > 0.0) {
+    return unseenMass / z / static_cast<double>(numUnseen);
+  }
+  return 0.0;
+}
+
+double MarkovModel::conditionalProb(std::string_view ctx, char c) const {
+  switch (config_.smoothing) {
+    case MarkovSmoothing::Backoff: return probBackoff(ctx, c);
+    case MarkovSmoothing::Laplace: return probLaplace(ctx, c);
+    case MarkovSmoothing::GoodTuring: return probGoodTuring(ctx, c);
+  }
+  return 0.0;
+}
+
+std::string_view MarkovModel::contextAt(std::string_view padded,
+                                        std::size_t i, int order) {
+  return padded.substr(i - static_cast<std::size_t>(order),
+                       static_cast<std::size_t>(order));
+}
+
+double MarkovModel::log2Prob(std::string_view pw) const {
+  if (!trained_) throw NotTrained("MarkovModel: not trained");
+  if (!isValidPassword(pw)) return -kInfiniteBits;
+  const auto order = static_cast<std::size_t>(config_.order);
+  std::string padded(order, kStart);
+  padded += pw;
+  padded += kEnd;
+  double lp = 0.0;
+  for (std::size_t i = order; i < padded.size(); ++i) {
+    const double p =
+        conditionalProb(contextAt(padded, i, config_.order), padded[i]);
+    if (p <= 0.0) return -kInfiniteBits;
+    lp += std::log2(p);
+  }
+  return lp;
+}
+
+std::string MarkovModel::sample(Rng& rng) const {
+  if (!trained_) throw NotTrained("MarkovModel: not trained");
+  const auto order = static_cast<std::size_t>(config_.order);
+  std::vector<double> weights(kAlphabet);
+  std::vector<char> symbols(kAlphabet);
+  {
+    int i = 0;
+    forEachSymbol([&](char c) { symbols[static_cast<std::size_t>(i++)] = c; });
+  }
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string padded(order, kStart);
+    bool ok = false;
+    while (padded.size() - order <= config_.maxSampleLength) {
+      const std::string_view ctx =
+          std::string_view(padded).substr(padded.size() - order, order);
+      for (std::size_t s = 0; s < symbols.size(); ++s) {
+        weights[s] = conditionalProb(ctx, symbols[s]);
+      }
+      const char c = symbols[sampleDiscrete(rng, weights)];
+      if (c == kEnd) {
+        ok = padded.size() > order;  // reject the empty password
+        break;
+      }
+      padded.push_back(c);
+    }
+    if (ok) return padded.substr(order);
+    // Over-long or empty draw: resample. Both events have negligible mass;
+    // see the class comment on normalization.
+  }
+  throw Error("MarkovModel::sample: resample limit exceeded");
+}
+
+namespace {
+
+/// Per-context conditional distribution, log2, sorted descending. Cached
+/// across bands: the threshold-search DFS revisits the same contexts in
+/// every band, and computing 96 smoothed conditionals per node dominates
+/// the enumeration cost otherwise.
+struct CachedDist {
+  std::vector<std::pair<char, double>> sorted;  // (symbol, log2 prob) desc
+};
+
+class DistCache {
+ public:
+  explicit DistCache(const MarkovModel& model) : model_(model) {}
+
+  const CachedDist& distFor(const std::string& ctx) {
+    const auto it = cache_.find(ctx);
+    if (it != cache_.end()) return it->second;
+    CachedDist dist;
+    dist.sorted.reserve(MarkovModel::kAlphabet);
+    auto consider = [&](char c) {
+      const double p = model_.conditionalProb(ctx, c);
+      if (p > 0.0) dist.sorted.emplace_back(c, std::log2(p));
+    };
+    for (int c = 0x20; c <= 0x7e; ++c) consider(static_cast<char>(c));
+    consider(MarkovModel::kEnd);
+    std::sort(dist.sorted.begin(), dist.sorted.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (cache_.size() >= kMaxEntries) {
+      scratch_ = std::move(dist);
+      return scratch_;  // over budget: compute, don't retain
+    }
+    return cache_.emplace(ctx, std::move(dist)).first->second;
+  }
+
+ private:
+  // ~1 KiB per entry; the cap bounds enumeration memory at ~100 MiB even
+  // against adversarially diverse training sets.
+  static constexpr std::size_t kMaxEntries = 100000;
+  const MarkovModel& model_;
+  StringMap<CachedDist> cache_;
+  CachedDist scratch_;
+};
+
+}  // namespace
+
+bool MarkovModel::enumerateBand(double bandLo, double bandHi,
+                                std::uint64_t maxGuesses,
+                                std::uint64_t& emitted,
+                                const GuessCallback& cb,
+                                void* cachePtr) const {
+  const auto order = static_cast<std::size_t>(config_.order);
+  DistCache& cache = *static_cast<DistCache*>(cachePtr);
+  std::string padded(order, kStart);
+  bool keepGoing = true;
+  bool aborted = false;  // callback asked to stop the whole enumeration
+
+  // Depth-first over prefixes; probability only decreases as symbols are
+  // appended, so any prefix at or below the band floor is pruned — and
+  // because the cached distribution is sorted descending, the candidate
+  // loop breaks at the first symbol below the floor.
+  auto dfs = [&](auto&& self, double lp) -> void {
+    if (!keepGoing) return;
+    // Copy: push_back below may reallocate `padded`, which would leave a
+    // string_view context dangling across loop iterations.
+    const std::string ctx = padded.substr(padded.size() - order, order);
+    const CachedDist& dist = cache.distFor(ctx);
+    for (const auto& [c, clp] : dist.sorted) {
+      if (!keepGoing) return;
+      const double lp2 = lp + clp;
+      if (lp2 <= bandLo) break;  // sorted: everything after is smaller
+      if (c == kEnd) {
+        if (lp2 <= bandHi && padded.size() > order) {
+          ++emitted;
+          if (!cb(std::string_view(padded).substr(order), lp2)) {
+            keepGoing = false;
+            aborted = true;
+          } else if (emitted >= maxGuesses) {
+            keepGoing = false;
+          }
+        }
+        continue;
+      }
+      if (padded.size() - order >= kMaxEnumLength) continue;
+      padded.push_back(c);
+      self(self, lp2);
+      padded.pop_back();
+    }
+  };
+  dfs(dfs, 0.0);
+  return !aborted;
+}
+
+void MarkovModel::enumerateGuesses(std::uint64_t maxGuesses,
+                                   const GuessCallback& cb) const {
+  if (!trained_) throw NotTrained("MarkovModel: not trained");
+  if (maxGuesses == 0) return;
+  DistCache cache(*this);
+  std::uint64_t emitted = 0;
+  for (int band = 0; band < kMaxBands && emitted < maxGuesses; ++band) {
+    const double hi = -static_cast<double>(band);
+    const double lo = hi - 1.0;
+    if (!enumerateBand(lo, hi, maxGuesses, emitted, cb, &cache)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. One line per context: hex(context) TAB pair-count TAB
+// "hex(symbol) count" pairs. Hex escaping keeps the start/end sentinels
+// (0x01/0x02) out of the text structure.
+// ---------------------------------------------------------------------------
+
+void MarkovModel::save(std::ostream& out) const {
+  using textio::hexEncode;
+  const char* smoothing = "backoff";
+  if (config_.smoothing == MarkovSmoothing::Laplace) smoothing = "laplace";
+  if (config_.smoothing == MarkovSmoothing::GoodTuring) {
+    smoothing = "goodturing";
+  }
+  out << "markov-model\t1\n";
+  out << "config\t" << config_.order << '\t' << smoothing << '\t'
+      << config_.discount << '\t' << config_.delta << '\t'
+      << config_.maxSampleLength << '\t' << (trained_ ? 1 : 0) << '\n';
+  out << "contexts\t" << contexts_.size() << '\n';
+  for (const auto& [ctx, stats] : contexts_) {
+    out << hexEncode(ctx) << '\t' << stats.next.size();
+    for (const auto& [sym, count] : stats.next) {
+      out << '\t' << hexEncode(std::string_view(&sym, 1)) << ' ' << count;
+    }
+    out << '\n';
+  }
+}
+
+MarkovModel MarkovModel::load(std::istream& in) {
+  using textio::expectLine;
+  using textio::hexDecode;
+  using textio::splitTabs;
+  const auto header = splitTabs(expectLine(in, "markov header"));
+  if (header.size() != 2 || header[0] != "markov-model" ||
+      header[1] != "1") {
+    throw IoError("MarkovModel::load: bad header");
+  }
+  const auto cfg = splitTabs(expectLine(in, "markov config"));
+  if (cfg.size() != 7 || cfg[0] != "config") {
+    throw IoError("MarkovModel::load: bad config line");
+  }
+  MarkovConfig config;
+  config.order = std::stoi(cfg[1]);
+  if (cfg[2] == "backoff") {
+    config.smoothing = MarkovSmoothing::Backoff;
+  } else if (cfg[2] == "laplace") {
+    config.smoothing = MarkovSmoothing::Laplace;
+  } else if (cfg[2] == "goodturing") {
+    config.smoothing = MarkovSmoothing::GoodTuring;
+  } else {
+    throw IoError("MarkovModel::load: unknown smoothing " + cfg[2]);
+  }
+  config.discount = std::stod(cfg[3]);
+  config.delta = std::stod(cfg[4]);
+  config.maxSampleLength = std::stoul(cfg[5]);
+  MarkovModel model(config);
+  model.trained_ = cfg[6] == "1";
+
+  const auto cc = splitTabs(expectLine(in, "contexts"));
+  if (cc.size() != 2 || cc[0] != "contexts") {
+    throw IoError("MarkovModel::load: bad contexts line");
+  }
+  for (std::size_t i = 0, n = std::stoul(cc[1]); i < n; ++i) {
+    const auto row = splitTabs(expectLine(in, "context row"));
+    if (row.size() < 2) throw IoError("MarkovModel::load: bad context row");
+    const std::string ctx = hexDecode(row[0]);
+    const std::size_t pairs = std::stoul(row[1]);
+    if (row.size() != 2 + pairs) {
+      throw IoError("MarkovModel::load: context pair count mismatch");
+    }
+    ContextStats stats;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const std::string& cell = row[2 + p];
+      const std::size_t space = cell.find(' ');
+      if (space == std::string::npos) {
+        throw IoError("MarkovModel::load: bad symbol cell");
+      }
+      const std::string sym = hexDecode(cell.substr(0, space));
+      if (sym.size() != 1) {
+        throw IoError("MarkovModel::load: bad symbol length");
+      }
+      stats.add(sym[0], std::stoull(cell.substr(space + 1)));
+    }
+    model.contexts_.emplace(ctx, std::move(stats));
+  }
+  return model;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,112 @@
+// Character-level Markov password model (Castelluccia et al., NDSS'12 —
+// the paper's baseline [33]) with the whole-string normalization and
+// smoothing variants of Ma et al. (IEEE S&P'14).
+//
+// The string probability is the product of per-character conditional
+// probabilities over the padded string  ^..^ p w $  (start padding of
+// `order` symbols, explicit end symbol), so probabilities over all
+// passwords sum to 1 (end-symbol normalization).
+//
+// Smoothing variants:
+//  * Backoff   — interpolated absolute discounting: at each context level
+//                a discount D is taken from every seen continuation and the
+//                freed mass (D * distinct / total) is given to the next
+//                shorter context's distribution, recursively down to the
+//                uniform distribution. This is the normalized, O(order)
+//                stand-in for the Katz backoff used by Ma et al. (the paper
+//                runs the "backoff approach" for its Markov PSM).
+//  * Laplace   — additive smoothing at the full-order context only.
+//  * GoodTuring— per-context simple Good-Turing discounting with the
+//                singleton mass shared across unseen continuations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "corpus/dataset.h"
+#include "model/probabilistic.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+enum class MarkovSmoothing { Backoff, Laplace, GoodTuring };
+
+struct MarkovConfig {
+  int order = 4;  ///< context length (number of preceding symbols)
+  MarkovSmoothing smoothing = MarkovSmoothing::Backoff;
+  double discount = 0.5;  ///< absolute discount D for Backoff
+  double delta = 0.01;    ///< pseudo-count for Laplace
+  std::size_t maxSampleLength = 64;  ///< resample beyond this (safety net)
+};
+
+class MarkovModel : public ProbabilisticModel {
+ public:
+  explicit MarkovModel(MarkovConfig config = {});
+
+  void train(const Dataset& ds);
+  void update(std::string_view pw, std::uint64_t n = 1);
+
+  std::string name() const override;
+  double log2Prob(std::string_view pw) const override;
+  std::string sample(Rng& rng) const override;
+  bool supportsEnumeration() const override { return true; }
+
+  /// Threshold-band enumeration: guesses are emitted in decreasing
+  /// one-bit-wide probability bands (exact order within a band is
+  /// unspecified). Stops at maxGuesses or when bands are exhausted.
+  void enumerateGuesses(std::uint64_t maxGuesses,
+                        const GuessCallback& cb) const override;
+
+  const MarkovConfig& config() const { return config_; }
+  bool trained() const { return trained_; }
+
+  /// Conditional probability of symbol c (a printable char or kEnd) given
+  /// the context `ctx` (most recent symbol last). Exposed for tests.
+  double conditionalProb(std::string_view ctx, char c) const;
+
+  static constexpr char kStart = '\x01';
+  static constexpr char kEnd = '\x02';
+  /// Predicted alphabet size: 95 printable characters + end symbol.
+  static constexpr int kAlphabet = 96;
+
+  /// Writes the trained model (config + context counts) as text; context
+  /// strings are hex-escaped because they embed the start sentinel.
+  void save(std::ostream& out) const;
+  /// Reads a model previously written by save().
+  static MarkovModel load(std::istream& in);
+
+ private:
+  struct ContextStats {
+    std::uint64_t total = 0;
+    // Sorted by symbol for binary search; symbols are printable chars or
+    // kEnd. Contexts additionally contain kStart.
+    std::vector<std::pair<char, std::uint64_t>> next;
+
+    std::uint64_t count(char c) const;
+    void add(char c, std::uint64_t n);
+  };
+
+  const ContextStats* find(std::string_view ctx) const;
+  double probBackoff(std::string_view history, char c) const;
+  double probLaplace(std::string_view ctx, char c) const;
+  double probGoodTuring(std::string_view ctx, char c) const;
+
+  /// Full-order padded context for position i of `padded`.
+  static std::string_view contextAt(std::string_view padded, std::size_t i,
+                                    int order);
+
+  /// Returns false if the callback aborted the enumeration. `cachePtr`
+  /// carries the per-enumeration conditional-distribution cache (opaque
+  /// here to keep the cache type out of the public header).
+  bool enumerateBand(double bandLo, double bandHi, std::uint64_t maxGuesses,
+                     std::uint64_t& emitted, const GuessCallback& cb,
+                     void* cachePtr) const;
+
+  MarkovConfig config_;
+  StringMap<ContextStats> contexts_;
+  bool trained_ = false;
+};
+
+}  // namespace fpsm

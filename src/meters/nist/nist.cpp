@@ -1,0 +1,58 @@
+#include "meters/nist/nist.h"
+
+#include <algorithm>
+
+#include "util/chars.h"
+#include "util/wordlists.h"
+
+namespace fpsm {
+
+NistMeter::NistMeter() { loadEmbedded(); }
+
+NistMeter::NistMeter(const Dataset& extraDictionary) {
+  loadEmbedded();
+  extraDictionary.forEach([this](std::string_view pw, std::uint64_t) {
+    dictionary_.insert(toLowerCopy(pw));
+  });
+}
+
+void NistMeter::loadEmbedded() {
+  for (const auto list : {words::commonPasswords(),
+                          words::chineseCommonPasswords(),
+                          words::englishWords(),
+                          words::englishNames(), words::keyboardWalks(),
+                          words::digitStrings()}) {
+    for (const auto w : list) dictionary_.insert(std::string(w));
+  }
+}
+
+bool NistMeter::inDictionary(std::string_view pw) const {
+  return dictionary_.contains(toLowerCopy(pw));
+}
+
+double NistMeter::strengthBits(std::string_view pw) const {
+  if (pw.empty()) return 0.0;
+  const std::size_t len = pw.size();
+
+  double bits = 4.0;  // first character
+  if (len > 1) {
+    bits += 2.0 * static_cast<double>(std::min<std::size_t>(len, 8) - 1);
+  }
+  if (len > 8) {
+    bits += 1.5 * static_cast<double>(std::min<std::size_t>(len, 20) - 8);
+  }
+  if (len > 20) bits += 1.0 * static_cast<double>(len - 20);
+
+  bool hasUpper = false, hasNonAlpha = false;
+  for (char c : pw) {
+    if (isUpper(c)) hasUpper = true;
+    if (!isLetter(c)) hasNonAlpha = true;
+  }
+  if (hasUpper && hasNonAlpha) bits += 6.0;
+
+  if (len < 20 && !inDictionary(pw)) bits += 6.0;
+
+  return bits;
+}
+
+}  // namespace fpsm

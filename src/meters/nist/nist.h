@@ -1,0 +1,52 @@
+// NIST SP 800-63 entropy meter (Burr et al. — the paper's baseline [16]).
+//
+// The NIST heuristic assigns per-character entropy by position, a
+// composition bonus when the password mixes upper-case and non-alphabetic
+// characters, and a dictionary-check bonus when the password survives an
+// extensive dictionary check. As the guideline itself admits (and the paper
+// stresses), this is an ad-hoc estimate; it is included as the
+// standards-body baseline.
+//
+// Formula implemented (SP 800-63-1 Appendix A, the reading used by
+// Carnavalet & Mannan, TISSEC'15):
+//   - first character: 4 bits
+//   - characters 2..8: 2 bits each
+//   - characters 9..20: 1.5 bits each
+//   - characters 21+: 1 bit each
+//   - +6 bits if the password contains both upper-case and non-alphabetic
+//     characters
+//   - +6 bits if the lower-cased password is NOT in the dictionary and the
+//     length is below 20 (longer passwords get no dictionary bonus)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "corpus/dataset.h"
+#include "model/meter.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+class NistMeter : public Meter {
+ public:
+  /// Builds with the embedded dictionary (common passwords, English words
+  /// and names — the "extensive dictionary" of the guideline).
+  NistMeter();
+
+  /// Additionally loads the passwords of `extraDictionary` into the
+  /// dictionary check (lower-cased), modelling a deployment that screens
+  /// against known leaks.
+  explicit NistMeter(const Dataset& extraDictionary);
+
+  std::string name() const override { return "NIST-PSM"; }
+  double strengthBits(std::string_view pw) const override;
+
+  bool inDictionary(std::string_view pw) const;
+
+ private:
+  void loadEmbedded();
+  StringSet dictionary_;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,333 @@
+#include "meters/pcfg/pcfg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <queue>
+
+#include "util/error.h"
+#include "util/textio.h"
+#include "util/wordlists.h"
+
+namespace fpsm {
+
+std::vector<PcfgSegment> segmentLDS(std::string_view pw) {
+  std::vector<PcfgSegment> out;
+  std::size_t i = 0;
+  while (i < pw.size()) {
+    const SegmentClass cls = segmentClassOf(pw[i]);
+    std::size_t j = i + 1;
+    while (j < pw.size() && segmentClassOf(pw[j]) == cls) ++j;
+    out.push_back({cls, i, j - i});
+    i = j;
+  }
+  return out;
+}
+
+std::string structureKey(std::string_view /*pw*/,
+                         const std::vector<PcfgSegment>& segments) {
+  std::string key;
+  for (const auto& s : segments) {
+    key.push_back(segmentClassTag(s.cls));
+    key += std::to_string(s.len);
+  }
+  return key;
+}
+
+namespace {
+
+/// Per-length index of the external input dictionary (Weir'09 mode):
+/// lower-cased letter-only words from the embedded lists.
+const std::unordered_map<std::size_t, StringSet>& externalDictionary() {
+  static const std::unordered_map<std::size_t, StringSet> dict = [] {
+    std::unordered_map<std::size_t, StringSet> byLen;
+    for (const auto list :
+         {words::commonPasswords(), words::chineseCommonPasswords(),
+          words::englishWords(), words::englishNames(),
+          words::pinyinWords(), words::pinyinSyllables()}) {
+      for (const auto w : list) {
+        const std::string lower = toLowerCopy(w);
+        if (std::all_of(lower.begin(), lower.end(), isLower)) {
+          byLen[lower.size()].insert(lower);
+        }
+      }
+    }
+    return byLen;
+  }();
+  return dict;
+}
+
+}  // namespace
+
+PcfgModel::PcfgModel(PcfgConfig config) : config_(config) {}
+
+double PcfgModel::externalLetterProbability(std::size_t len,
+                                            std::string_view form) const {
+  const auto& dict = externalDictionary();
+  const auto it = dict.find(len);
+  if (it == dict.end()) return 0.0;
+  const std::string lower = toLowerCopy(form);
+  if (!it->second.contains(lower)) return 0.0;
+  // Weir'09: uniform over the dictionary words of this length.
+  return 1.0 / static_cast<double>(it->second.size());
+}
+
+void PcfgModel::train(const Dataset& ds) {
+  ds.forEach(
+      [this](std::string_view pw, std::uint64_t c) { update(pw, c); });
+}
+
+void PcfgModel::update(std::string_view pw, std::uint64_t n) {
+  validatePassword(pw);
+  if (n == 0) return;
+  const auto segs = segmentLDS(pw);
+  structures_.add(structureKey(pw, segs), n);
+  for (const auto& s : segs) {
+    tableFor(s.cls, s.len).add(pw.substr(s.begin, s.len), n);
+  }
+}
+
+const SegmentTable* PcfgModel::findTable(SegmentClass cls,
+                                         std::size_t len) const {
+  const auto it = segments_.find(tableKey(cls, len));
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+SegmentTable& PcfgModel::tableFor(SegmentClass cls, std::size_t len) {
+  return segments_[tableKey(cls, len)];
+}
+
+double PcfgModel::segmentProbability(SegmentClass cls, std::size_t len,
+                                     std::string_view form) const {
+  if (cls == SegmentClass::Letter &&
+      config_.letterModel == PcfgLetterModel::ExternalDictionary) {
+    return externalLetterProbability(len, form);
+  }
+  const SegmentTable* t = findTable(cls, len);
+  return t == nullptr ? 0.0 : t->probability(form);
+}
+
+double PcfgModel::log2Prob(std::string_view pw) const {
+  if (!trained()) throw NotTrained("PcfgModel: not trained");
+  if (!isValidPassword(pw)) return -kInfiniteBits;
+  const auto segs = segmentLDS(pw);
+  const double ps = structures_.probability(structureKey(pw, segs));
+  if (ps <= 0.0) return -kInfiniteBits;
+  double lp = std::log2(ps);
+  for (const auto& s : segs) {
+    const double pseg =
+        segmentProbability(s.cls, s.len, pw.substr(s.begin, s.len));
+    if (pseg <= 0.0) return -kInfiniteBits;
+    lp += std::log2(pseg);
+  }
+  return lp;
+}
+
+std::string PcfgModel::sample(Rng& rng) const {
+  if (!trained()) throw NotTrained("PcfgModel: not trained");
+  if (config_.letterModel == PcfgLetterModel::ExternalDictionary) {
+    // The historical mode is a scoring-only ablation; its letter
+    // distribution lives outside the counted tables.
+    throw InvalidArgument(
+        "PcfgModel: external-dictionary mode does not support sampling");
+  }
+  const std::string_view key = structures_.sample(rng);
+  // Decode "L8D3" back into slots and fill each from its table.
+  std::string out;
+  std::size_t i = 0;
+  while (i < key.size()) {
+    const char tag = key[i++];
+    std::size_t len = 0;
+    while (i < key.size() && isDigit(key[i])) {
+      len = len * 10 + static_cast<std::size_t>(key[i] - '0');
+      ++i;
+    }
+    SegmentClass cls = SegmentClass::Letter;
+    if (tag == 'D') cls = SegmentClass::Digit;
+    if (tag == 'S') cls = SegmentClass::Symbol;
+    const SegmentTable* t = findTable(cls, len);
+    // Every counted structure has counted segments, so t is non-null.
+    if (t == nullptr) {
+      throw Error("PcfgModel: missing table for " + std::string(key));
+    }
+    out += t->sample(rng);
+  }
+  return out;
+}
+
+namespace {
+
+/// Decoded structure: per-slot candidate lists (borrowed from the tables).
+struct DecodedStructure {
+  double log2StructProb;
+  std::vector<const std::vector<SegmentTable::Item>*> slots;
+  std::vector<std::uint64_t> slotTotals;
+};
+
+struct QueueEntry {
+  double log2p;
+  std::size_t structIdx;
+  std::vector<std::uint32_t> ranks;
+  std::size_t pivot;  // successors only advance slots >= pivot (dedup rule)
+
+  bool operator<(const QueueEntry& other) const {
+    return log2p < other.log2p;  // max-heap on probability
+  }
+};
+
+}  // namespace
+
+void PcfgModel::enumerateGuesses(std::uint64_t maxGuesses,
+                                 const GuessCallback& cb) const {
+  if (!trained()) throw NotTrained("PcfgModel: not trained");
+  if (config_.letterModel == PcfgLetterModel::ExternalDictionary) {
+    throw InvalidArgument(
+        "PcfgModel: external-dictionary mode does not support enumeration");
+  }
+  if (maxGuesses == 0) return;
+
+  // Decode every structure once.
+  std::vector<DecodedStructure> decoded;
+  const double totalStructs = static_cast<double>(structures_.total());
+  for (const auto& item : structures_.sortedDesc()) {
+    DecodedStructure d;
+    d.log2StructProb =
+        std::log2(static_cast<double>(item.count) / totalStructs);
+    const std::string& key = item.form;
+    std::size_t i = 0;
+    bool ok = true;
+    while (i < key.size()) {
+      const char tag = key[i++];
+      std::size_t len = 0;
+      while (i < key.size() && isDigit(key[i])) {
+        len = len * 10 + static_cast<std::size_t>(key[i] - '0');
+        ++i;
+      }
+      SegmentClass cls = SegmentClass::Letter;
+      if (tag == 'D') cls = SegmentClass::Digit;
+      if (tag == 'S') cls = SegmentClass::Symbol;
+      const SegmentTable* t = findTable(cls, len);
+      if (t == nullptr || t->empty()) {
+        ok = false;
+        break;
+      }
+      d.slots.push_back(&t->sortedDesc());
+      d.slotTotals.push_back(t->total());
+    }
+    if (ok) decoded.push_back(std::move(d));
+  }
+
+  auto entryLog2p = [&](std::size_t structIdx,
+                        const std::vector<std::uint32_t>& ranks) {
+    const DecodedStructure& d = decoded[structIdx];
+    double lp = d.log2StructProb;
+    for (std::size_t s = 0; s < ranks.size(); ++s) {
+      const auto& items = *d.slots[s];
+      lp += std::log2(static_cast<double>(items[ranks[s]].count) /
+                      static_cast<double>(d.slotTotals[s]));
+    }
+    return lp;
+  };
+
+  std::priority_queue<QueueEntry> pq;
+  for (std::size_t si = 0; si < decoded.size(); ++si) {
+    QueueEntry e;
+    e.structIdx = si;
+    e.ranks.assign(decoded[si].slots.size(), 0);
+    e.pivot = 0;
+    e.log2p = entryLog2p(si, e.ranks);
+    pq.push(std::move(e));
+  }
+
+  std::uint64_t emitted = 0;
+  std::string guess;
+  while (!pq.empty() && emitted < maxGuesses) {
+    QueueEntry top = pq.top();
+    pq.pop();
+    const DecodedStructure& d = decoded[top.structIdx];
+    guess.clear();
+    for (std::size_t s = 0; s < top.ranks.size(); ++s) {
+      guess += (*d.slots[s])[top.ranks[s]].form;
+    }
+    ++emitted;
+    if (!cb(guess, top.log2p)) return;
+
+    // Successors: advance one slot at or after the pivot. This generates
+    // every rank vector exactly once (Weir's deadbeat-dad ordering).
+    for (std::size_t s = top.pivot; s < top.ranks.size(); ++s) {
+      if (top.ranks[s] + 1 < d.slots[s]->size()) {
+        QueueEntry next;
+        next.structIdx = top.structIdx;
+        next.ranks = top.ranks;
+        ++next.ranks[s];
+        next.pivot = s;
+        next.log2p = entryLog2p(next.structIdx, next.ranks);
+        pq.push(std::move(next));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: tab-separated text; passwords and structure keys are
+// printable ASCII without tabs, so no escaping is needed.
+// ---------------------------------------------------------------------------
+
+void PcfgModel::save(std::ostream& out) const {
+  out << "pcfg-model\t1\n";
+  out << "structures\t" << structures_.distinct() << '\n';
+  for (const auto& item : structures_.sortedDesc()) {
+    out << item.form << '\t' << item.count << '\n';
+  }
+  out << "tables\t" << segments_.size() << '\n';
+  for (const auto& [key, table] : segments_) {
+    const auto cls = static_cast<SegmentClass>(key >> 32);
+    const auto len = static_cast<std::size_t>(key & 0xffffffffULL);
+    out << "table\t" << segmentClassTag(cls) << '\t' << len << '\t'
+        << table.distinct() << '\n';
+    for (const auto& item : table.sortedDesc()) {
+      out << item.form << '\t' << item.count << '\n';
+    }
+  }
+}
+
+PcfgModel PcfgModel::load(std::istream& in) {
+  using textio::expectLine;
+  using textio::splitTabs;
+  const auto header = splitTabs(expectLine(in, "pcfg header"));
+  if (header.size() != 2 || header[0] != "pcfg-model" || header[1] != "1") {
+    throw IoError("PcfgModel::load: bad header");
+  }
+  PcfgModel model;
+  const auto st = splitTabs(expectLine(in, "structures"));
+  if (st.size() != 2 || st[0] != "structures") {
+    throw IoError("PcfgModel::load: bad structures line");
+  }
+  for (std::size_t i = 0, n = std::stoul(st[1]); i < n; ++i) {
+    const auto row = splitTabs(expectLine(in, "structure row"));
+    if (row.size() != 2) throw IoError("PcfgModel::load: bad structure row");
+    model.structures_.add(row[0], std::stoull(row[1]));
+  }
+  const auto tb = splitTabs(expectLine(in, "tables"));
+  if (tb.size() != 2 || tb[0] != "tables") {
+    throw IoError("PcfgModel::load: bad tables line");
+  }
+  for (std::size_t t = 0, nt = std::stoul(tb[1]); t < nt; ++t) {
+    const auto th = splitTabs(expectLine(in, "table header"));
+    if (th.size() != 4 || th[0] != "table" || th[1].size() != 1) {
+      throw IoError("PcfgModel::load: bad table header");
+    }
+    SegmentClass cls = SegmentClass::Letter;
+    if (th[1][0] == 'D') cls = SegmentClass::Digit;
+    if (th[1][0] == 'S') cls = SegmentClass::Symbol;
+    SegmentTable& table = model.tableFor(cls, std::stoul(th[2]));
+    for (std::size_t i = 0, rows = std::stoul(th[3]); i < rows; ++i) {
+      const auto row = splitTabs(expectLine(in, "table row"));
+      if (row.size() != 2) throw IoError("PcfgModel::load: bad table row");
+      table.add(row[0], std::stoull(row[1]));
+    }
+  }
+  return model;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,120 @@
+// PCFG-based password model (Weir et al., IEEE S&P'09; used as a PSM by
+// Houshmand & Aggarwal, ACSAC'12 — the paper's baseline [34]).
+//
+// A password is segmented into maximal runs of Letters, Digits and Symbols;
+// the run-class/length sequence is its *base structure* (e.g. p@ssw0rd ->
+// L1 S1 L3 D1 L2). Training counts base structures and per-(class,length)
+// segment strings. Following Ma et al. (IEEE S&P'14) — and the paper's
+// Sec. IV-A — probabilities of letter segments are learned from the
+// training set rather than an external dictionary.
+//
+//   P(pw) = P(structure) * prod_i P(segment_i | class_i, len_i)
+//
+// The model supports probability queries, sampling, incremental updates
+// (the adaptive-meter update phase) and exact enumeration of guesses in
+// decreasing probability order via a priority queue over partial rank
+// assignments (Weir's "next" function).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "meters/segment_table.h"
+#include "model/probabilistic.h"
+#include "util/chars.h"
+
+namespace fpsm {
+
+/// One L/D/S run of a password.
+struct PcfgSegment {
+  SegmentClass cls;
+  std::size_t begin;
+  std::size_t len;
+};
+
+/// Splits pw into maximal same-class runs. Empty input gives no segments.
+std::vector<PcfgSegment> segmentLDS(std::string_view pw);
+
+/// Canonical structure key, e.g. "L1S1L3D1L2". Lengths are printed in
+/// decimal; class tags delimit, so the encoding is unambiguous.
+std::string structureKey(std::string_view pw,
+                         const std::vector<PcfgSegment>& segments);
+
+/// How letter-segment probabilities are obtained.
+enum class PcfgLetterModel {
+  /// Learned from the training set (Ma et al. '14; the paper's choice,
+  /// Sec. IV-A: "the probabilities associated with letter segments are
+  /// learned directly from the training process").
+  LearnedFromTraining,
+  /// Weir et al.'s 2009 original: uniform over an external input
+  /// dictionary's words of the same length (case-folded lookup). Kept as
+  /// a historical ablation; digits/symbols are always learned.
+  ExternalDictionary,
+};
+
+struct PcfgConfig {
+  PcfgLetterModel letterModel = PcfgLetterModel::LearnedFromTraining;
+};
+
+class PcfgModel : public ProbabilisticModel {
+ public:
+  explicit PcfgModel(PcfgConfig config = {});
+
+  /// Counts every password of `ds`, weighted by frequency.
+  void train(const Dataset& ds);
+
+  /// Folds n occurrences of pw into the grammar (adaptive update phase).
+  void update(std::string_view pw, std::uint64_t n = 1);
+
+  // Meter / ProbabilisticModel interface.
+  std::string name() const override {
+    return config_.letterModel == PcfgLetterModel::LearnedFromTraining
+               ? "PCFG-PSM"
+               : "PCFG-PSM(weir09)";
+  }
+  double log2Prob(std::string_view pw) const override;
+  std::string sample(Rng& rng) const override;
+  bool supportsEnumeration() const override { return true; }
+  void enumerateGuesses(std::uint64_t maxGuesses,
+                        const GuessCallback& cb) const override;
+
+  /// Probability of one segment given its class and length; 0 if unseen.
+  /// Exposed for the fuzzy grammar's fallback sub-model and for tests.
+  double segmentProbability(SegmentClass cls, std::size_t len,
+                            std::string_view form) const;
+
+  const SegmentTable& structures() const { return structures_; }
+  bool trained() const { return structures_.total() > 0; }
+
+  /// Writes the trained grammar as tab-separated text.
+  void save(std::ostream& out) const;
+  /// Reads a grammar previously written by save().
+  static PcfgModel load(std::istream& in);
+
+  const PcfgConfig& config() const { return config_; }
+
+ private:
+  /// Segment tables keyed by (class, length).
+  const SegmentTable* findTable(SegmentClass cls, std::size_t len) const;
+  SegmentTable& tableFor(SegmentClass cls, std::size_t len);
+
+  static std::uint64_t tableKey(SegmentClass cls, std::size_t len) {
+    return (static_cast<std::uint64_t>(cls) << 32) | len;
+  }
+
+  /// Uniform probability of a letter segment under the external input
+  /// dictionary (Weir'09 mode); 0 if the word is not in the dictionary.
+  double externalLetterProbability(std::size_t len,
+                                   std::string_view form) const;
+
+  PcfgConfig config_;
+  SegmentTable structures_;
+  std::unordered_map<std::uint64_t, SegmentTable> segments_;
+};
+
+}  // namespace fpsm

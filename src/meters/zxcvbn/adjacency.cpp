@@ -1,0 +1,157 @@
+#include "meters/zxcvbn/adjacency.h"
+
+#include <cmath>
+
+namespace fpsm {
+namespace {
+
+struct LayoutRow {
+  std::string_view unshifted;
+  std::string_view shifted;
+  double xOffset;  // horizontal stagger of the row, in key units
+};
+
+struct PlacedKey {
+  char unshifted;
+  char shifted;
+  double x;
+  double y;
+};
+
+std::vector<PlacedKey> place(std::initializer_list<LayoutRow> rows) {
+  std::vector<PlacedKey> keys;
+  double y = 0;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.unshifted.size(); ++i) {
+      const char shifted = i < row.shifted.size() ? row.shifted[i] : '\0';
+      keys.push_back(
+          {row.unshifted[i], shifted, row.xOffset + static_cast<double>(i),
+           y});
+    }
+    y += 1.0;
+  }
+  return keys;
+}
+
+}  // namespace
+
+KeyboardGraph::KeyboardGraph(std::string name, std::vector<Key> keys)
+    : name_(std::move(name)), keys_(std::move(keys)) {
+  charToKey_.fill(-1);
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    charToKey_[static_cast<unsigned char>(keys_[i].unshifted)] =
+        static_cast<std::int16_t>(i);
+    if (keys_[i].shifted != '\0') {
+      charToKey_[static_cast<unsigned char>(keys_[i].shifted)] =
+          static_cast<std::int16_t>(i);
+    }
+  }
+}
+
+std::optional<std::size_t> KeyboardGraph::keyOf(char c) const {
+  const auto u = static_cast<unsigned char>(c);
+  if (u >= 128 || charToKey_[u] < 0) return std::nullopt;
+  return static_cast<std::size_t>(charToKey_[u]);
+}
+
+bool KeyboardGraph::adjacent(char from, char to) const {
+  const auto a = keyOf(from);
+  const auto b = keyOf(to);
+  if (!a || !b || *a == *b) return false;
+  for (const std::size_t n : keys_[*a].neighbours) {
+    if (n == *b) return true;
+  }
+  return false;
+}
+
+bool KeyboardGraph::isShifted(char c) const {
+  const auto k = keyOf(c);
+  return k.has_value() && keys_[*k].shifted == c;
+}
+
+double KeyboardGraph::averageDegree() const {
+  if (keys_.empty()) return 0.0;
+  double total = 0;
+  for (const auto& k : keys_) {
+    total += static_cast<double>(k.neighbours.size());
+  }
+  return total / static_cast<double>(keys_.size());
+}
+
+namespace {
+
+/// Connects placed keys whose squared distance is at most distance2 and
+/// wraps them into a graph.
+KeyboardGraph makeGraph(std::string name, const std::vector<PlacedKey>& placed,
+                        double distance2) {
+  struct KeyBuilder {
+    char unshifted;
+    char shifted;
+    std::vector<std::size_t> neighbours;
+  };
+  std::vector<KeyBuilder> builders;
+  builders.reserve(placed.size());
+  for (const auto& p : placed) builders.push_back({p.unshifted, p.shifted, {}});
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    for (std::size_t j = 0; j < placed.size(); ++j) {
+      if (i == j) continue;
+      const double dx = placed[i].x - placed[j].x;
+      const double dy = placed[i].y - placed[j].y;
+      if (dx * dx + dy * dy <= distance2) builders[i].neighbours.push_back(j);
+    }
+  }
+  // KeyBuilder mirrors KeyboardGraph::Key; copy field-wise (Key is private
+  // to the graph, the factory methods below are its only producers).
+  return KeyboardGraph(std::move(name), [&] {
+    std::vector<KeyboardGraph::Key> keys;
+    keys.reserve(builders.size());
+    for (auto& b : builders) {
+      keys.push_back({b.unshifted, b.shifted, std::move(b.neighbours)});
+    }
+    return keys;
+  }());
+}
+
+}  // namespace
+
+const KeyboardGraph& KeyboardGraph::qwerty() {
+  static const KeyboardGraph graph = makeGraph(
+      "qwerty",
+      place({
+          {"`1234567890-=", "~!@#$%^&*()_+", 0.0},
+          {"qwertyuiop[]\\", "QWERTYUIOP{}|", 1.0},
+          {"asdfghjkl;'", "ASDFGHJKL:\"", 1.25},
+          {"zxcvbnm,./", "ZXCVBNM<>?", 1.75},
+      }),
+      // Slanted boards: direct horizontal neighbours plus the two nearest
+      // keys in each adjacent row fall within this radius.
+      1.0 * 1.0 + 0.9 * 0.9);
+  return graph;
+}
+
+const KeyboardGraph& KeyboardGraph::dvorak() {
+  static const KeyboardGraph graph = makeGraph(
+      "dvorak",
+      place({
+          {"`1234567890[]", "~!@#$%^&*(){}", 0.0},
+          {"',.pyfgcrl/=\\", "\"<>PYFGCRL?+|", 1.0},
+          {"aoeuidhtns-", "AOEUIDHTNS_", 1.25},
+          {";qjkxbmwvz", ":QJKXBMWVZ", 1.75},
+      }),
+      1.0 * 1.0 + 0.9 * 0.9);
+  return graph;
+}
+
+const KeyboardGraph& KeyboardGraph::keypad() {
+  static const KeyboardGraph graph = makeGraph("keypad",
+                                               place({
+                                                   {"789", "", 0.0},
+                                                   {"456", "", 0.0},
+                                                   {"123", "", 0.0},
+                                                   {"0.", "", 0.0},
+                                               }),
+                                               2.0 + 1e-9);  // 8-neighbour
+  return graph;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,63 @@
+// Keyboard adjacency graphs for zxcvbn's spatial matcher.
+//
+// Graphs are generated from physical layouts: the slanted QWERTY board and
+// the square numeric keypad. Each key stores its unshifted and shifted
+// character; adjacency follows zxcvbn's convention (6 slanted neighbours
+// for QWERTY, 8 square neighbours for the keypad).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpsm {
+
+class KeyboardGraph {
+ public:
+  struct Key {
+    char unshifted;
+    char shifted;  // '\0' if none
+    std::vector<std::size_t> neighbours;
+  };
+
+  /// Builds a graph from fully-specified keys. Prefer the factory methods
+  /// below; this is public for the layout builders and tests.
+  KeyboardGraph(std::string name, std::vector<Key> keys);
+
+  /// The slanted US QWERTY layout (with shifted characters).
+  static const KeyboardGraph& qwerty();
+  /// The slanted Dvorak layout (with shifted characters).
+  static const KeyboardGraph& dvorak();
+  /// The numeric keypad (no shifted characters).
+  static const KeyboardGraph& keypad();
+
+  const std::string& name() const { return name_; }
+
+  /// True if `to` is typed by a key adjacent to the key of `from`
+  /// (either shift state on both sides).
+  bool adjacent(char from, char to) const;
+
+  /// True if c is typed with shift on this layout.
+  bool isShifted(char c) const;
+
+  /// True if the layout contains c at all.
+  bool contains(char c) const { return keyOf(c).has_value(); }
+
+  /// Number of distinct keys (zxcvbn's "starting positions" s).
+  std::size_t keyCount() const { return keys_.size(); }
+
+  /// Average number of neighbours per key (zxcvbn's "average degree" d).
+  double averageDegree() const;
+
+ private:
+  std::optional<std::size_t> keyOf(char c) const;
+
+  std::string name_;
+  std::vector<Key> keys_;
+  std::array<std::int16_t, 128> charToKey_;  // -1 if absent
+};
+
+}  // namespace fpsm

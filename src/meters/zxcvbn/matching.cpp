@@ -1,0 +1,498 @@
+#include "meters/zxcvbn/matching.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "meters/zxcvbn/adjacency.h"
+#include "util/chars.h"
+#include "util/wordlists.h"
+
+namespace fpsm {
+namespace {
+
+double nCk(double n, double k) {
+  if (k > n) return 0.0;
+  if (k == 0.0) return 1.0;
+  double r = 1.0;
+  for (double d = 1.0; d <= k; ++d) {
+    r *= n / d;
+    n -= 1.0;
+  }
+  return r;
+}
+
+/// zxcvbn v1 l33t table: letters a character may decode to.
+std::string l33tLetters(char c) {
+  switch (c) {
+    case '4': return "a";
+    case '@': return "a";
+    case '8': return "b";
+    case '(': case '{': case '[': case '<': return "c";
+    case '3': return "e";
+    case '6': case '9': return "g";
+    case '1': return "il";
+    case '!': case '|': return "il";
+    case '0': return "o";
+    case '$': case '5': return "s";
+    case '+': return "t";
+    case '7': return "tl";
+    case '%': return "x";
+    case '2': return "z";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+void RankedDictionary::add(std::string_view word) {
+  if (word.size() < 3) return;
+  const std::string lower = toLowerCopy(word);
+  if (ranks_.contains(lower)) return;
+  const int rank = static_cast<int>(ranks_.size()) + 1;
+  trie_.insert(lower);
+  ranks_.emplace(lower, rank);
+}
+
+int RankedDictionary::rank(std::string_view lowerWord) const {
+  const auto it = ranks_.find(lowerWord);
+  return it == ranks_.end() ? 0 : it->second;
+}
+
+const RankedDictionary& RankedDictionary::embedded() {
+  static const RankedDictionary dict = [] {
+    RankedDictionary d;
+    for (const auto list :
+         {words::commonPasswords(), words::chineseCommonPasswords(),
+        words::englishWords(),
+          words::englishNames(), words::pinyinWords(),
+          words::keyboardWalks(), words::digitStrings()}) {
+      for (const auto w : list) d.add(w);
+    }
+    return d;
+  }();
+  return dict;
+}
+
+double uppercaseEntropy(std::string_view token) {
+  int upper = 0, lower = 0;
+  for (char c : token) {
+    if (isUpper(c)) ++upper;
+    if (isLower(c)) ++lower;
+  }
+  if (upper == 0) return 0.0;
+  const bool startUpper = isUpper(token.front()) && upper == 1;
+  const bool endUpper = isUpper(token.back()) && upper == 1;
+  if (lower == 0 || startUpper || endUpper) return 1.0;
+  double possibilities = 0.0;
+  for (int i = 0; i <= std::min(upper, lower); ++i) {
+    possibilities += nCk(upper + lower, i);
+  }
+  return std::log2(std::max(possibilities, 2.0));
+}
+
+double bruteforceCardinality(std::string_view token) {
+  bool lower = false, upper = false, digit = false, symbol = false;
+  for (char c : token) {
+    switch (classOf(c)) {
+      case CharClass::Lower: lower = true; break;
+      case CharClass::Upper: upper = true; break;
+      case CharClass::Digit: digit = true; break;
+      default: symbol = true; break;
+    }
+  }
+  double card = 0;
+  if (lower) card += 26;
+  if (upper) card += 26;
+  if (digit) card += 10;
+  if (symbol) card += 33;
+  return std::max(card, 1.0);
+}
+
+std::vector<ZxMatch> matchDictionary(std::string_view pw,
+                                     const RankedDictionary& dict) {
+  std::vector<ZxMatch> out;
+  const std::string lower = toLowerCopy(pw);
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    Trie::NodeId node = Trie::kRoot;
+    for (std::size_t j = i; j < lower.size(); ++j) {
+      const auto next = dict.trie().child(node, lower[j]);
+      if (!next) break;
+      node = *next;
+      const std::size_t len = j - i + 1;
+      if (len >= 3 && dict.trie().isTerminal(node)) {
+        const std::string_view token = pw.substr(i, len);
+        const int rank = dict.rank(lower.substr(i, len));
+        out.push_back({MatchKind::Dictionary, i, j,
+                       std::log2(static_cast<double>(rank)) +
+                           uppercaseEntropy(token),
+                       std::string(token)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchReverseDictionary(std::string_view pw,
+                                            const RankedDictionary& dict) {
+  std::string reversed(pw);
+  std::reverse(reversed.begin(), reversed.end());
+  std::vector<ZxMatch> out;
+  for (auto& m : matchDictionary(reversed, dict)) {
+    // Skip palindromes: the forward matcher already reports them.
+    const std::string_view fwd =
+        pw.substr(pw.size() - 1 - m.j, m.j - m.i + 1);
+    if (toLowerCopy(fwd) == toLowerCopy(m.token)) continue;
+    const std::size_t i = pw.size() - 1 - m.j;
+    const std::size_t j = pw.size() - 1 - m.i;
+    out.push_back({MatchKind::ReverseDictionary, i, j, m.entropy + 1.0,
+                   std::string(pw.substr(i, j - i + 1))});
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchL33t(std::string_view pw,
+                               const RankedDictionary& dict) {
+  std::vector<ZxMatch> out;
+  // DFS the trie with every l33t decoding of each character. A match must
+  // use at least one substitution (subs == 0 is the plain matcher's job).
+  struct Walker {
+    std::string_view pw;
+    const RankedDictionary& dict;
+    std::vector<ZxMatch>& out;
+    std::string path;
+    std::size_t start = 0;
+
+    void visit(Trie::NodeId node, std::size_t depth, int subs) {
+      const std::size_t pos = start + depth;
+      if (depth >= 3 && subs > 0 && dict.trie().isTerminal(node)) {
+        const int rank = dict.rank(path);
+        if (rank > 0) {
+          const std::string_view token = pw.substr(start, depth);
+          const double extra =
+              std::max(1.0, static_cast<double>(subs));
+          out.push_back({MatchKind::L33tDictionary, start, pos - 1,
+                         std::log2(static_cast<double>(rank)) +
+                             uppercaseEntropy(token) + extra,
+                         std::string(token)});
+        }
+      }
+      if (pos >= pw.size() || depth >= 24) return;
+      const char c = pw[pos];
+      const char lower = toLower(c);
+      if (isLetter(lower)) {
+        if (const auto child = dict.trie().child(node, lower)) {
+          path.push_back(lower);
+          visit(*child, depth + 1, subs);
+          path.pop_back();
+        }
+      }
+      for (const char letter : l33tLetters(c)) {
+        if (const auto child = dict.trie().child(node, letter)) {
+          path.push_back(letter);
+          visit(*child, depth + 1, subs + 1);
+          path.pop_back();
+        }
+      }
+    }
+  };
+  Walker w{pw, dict, out, {}, 0};
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    w.start = i;
+    w.visit(Trie::kRoot, 0, 0);
+  }
+  return out;
+}
+
+namespace {
+
+double spatialEntropy(const KeyboardGraph& g, std::string_view token,
+                      int turns, int shifted) {
+  const double s = static_cast<double>(g.keyCount());
+  const double d = g.averageDegree();
+  const auto L = static_cast<int>(token.size());
+  double possibilities = 0.0;
+  for (int i = 2; i <= L; ++i) {
+    const int maxTurns = std::min(turns, i - 1);
+    for (int j = 1; j <= maxTurns; ++j) {
+      possibilities += nCk(i - 2, j - 1) * s * std::pow(d, j);
+    }
+  }
+  double entropy = std::log2(std::max(possibilities, 2.0));
+  if (shifted > 0) {
+    const int unshifted = L - shifted;
+    if (unshifted == 0) {
+      entropy += 1.0;
+    } else {
+      double shiftedPoss = 0.0;
+      for (int i = 1; i <= std::min(shifted, unshifted); ++i) {
+        shiftedPoss += nCk(shifted + unshifted, i);
+      }
+      entropy += std::log2(std::max(shiftedPoss, 2.0));
+    }
+  }
+  return entropy;
+}
+
+}  // namespace
+
+std::vector<ZxMatch> matchSpatial(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  for (const KeyboardGraph* g :
+       {&KeyboardGraph::qwerty(), &KeyboardGraph::dvorak(),
+        &KeyboardGraph::keypad()}) {
+    std::size_t i = 0;
+    while (i + 2 < pw.size() + 1) {
+      std::size_t j = i;
+      while (j + 1 < pw.size() && g->adjacent(pw[j], pw[j + 1])) ++j;
+      const std::size_t len = j - i + 1;
+      if (len >= 3) {
+        // Turns: approximate as the number of positions where the walk
+        // cannot continue "straight" — count changes of neighbour slot is
+        // not observable here, so follow zxcvbn's practical floor of one
+        // turn plus one per direction reversal heuristic: we count a turn
+        // whenever the character repeats a previous direction change by
+        // comparing coordinate deltas is unavailable; use turns = 1 + the
+        // number of local extrema in char codes as a cheap proxy.
+        int turns = 1;
+        for (std::size_t k = i + 1; k < j; ++k) {
+          const bool upBefore = pw[k] > pw[k - 1];
+          const bool upAfter = pw[k + 1] > pw[k];
+          if (upBefore != upAfter) ++turns;
+        }
+        int shifted = 0;
+        for (std::size_t k = i; k <= j; ++k) {
+          if (g->isShifted(pw[k])) ++shifted;
+        }
+        const std::string_view token = pw.substr(i, len);
+        out.push_back({MatchKind::Spatial, i, j,
+                       spatialEntropy(*g, token, turns, shifted),
+                       std::string(token)});
+        i = j + 1;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchRepeat(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  std::size_t i = 0;
+  while (i < pw.size()) {
+    std::size_t j = i;
+    while (j + 1 < pw.size() && pw[j + 1] == pw[i]) ++j;
+    const std::size_t len = j - i + 1;
+    if (len >= 3) {
+      const std::string_view token = pw.substr(i, len);
+      out.push_back({MatchKind::Repeat, i, j,
+                     std::log2(bruteforceCardinality(token) *
+                               static_cast<double>(len)),
+                     std::string(token)});
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchSequence(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  std::size_t i = 0;
+  while (i + 1 < pw.size()) {
+    const int step = static_cast<int>(pw[i + 1]) - static_cast<int>(pw[i]);
+    if (step != 1 && step != -1) {
+      ++i;
+      continue;
+    }
+    // All characters must stay in one class (a-z, A-Z or 0-9).
+    const CharClass cls = classOf(pw[i]);
+    if (cls == CharClass::Symbol || cls == CharClass::Other) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j + 1 < pw.size() &&
+           static_cast<int>(pw[j + 1]) - static_cast<int>(pw[j]) == step &&
+           classOf(pw[j + 1]) == cls) {
+      ++j;
+    }
+    const std::size_t len = j - i + 1;
+    if (len >= 3 && classOf(pw[j]) == cls) {
+      double base;
+      const char first = pw[i];
+      if (first == 'a' || first == '1') {
+        base = 1.0;  // obvious starting points are nearly free
+      } else if (cls == CharClass::Digit) {
+        base = std::log2(10.0);
+      } else if (cls == CharClass::Upper) {
+        base = std::log2(26.0) + 1.0;
+      } else {
+        base = std::log2(26.0);
+      }
+      double entropy = base + std::log2(static_cast<double>(len));
+      if (step == -1) entropy += 1.0;
+      out.push_back({MatchKind::Sequence, i, j, entropy,
+                     std::string(pw.substr(i, len))});
+      i = j + 1;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchDigits(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  std::size_t i = 0;
+  while (i < pw.size()) {
+    if (!isDigit(pw[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j + 1 < pw.size() && isDigit(pw[j + 1])) ++j;
+    const std::size_t len = j - i + 1;
+    if (len >= 3) {
+      out.push_back({MatchKind::Digits, i, j,
+                     static_cast<double>(len) * std::log2(10.0),
+                     std::string(pw.substr(i, len))});
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+namespace {
+
+constexpr int kMinYear = 1900;
+constexpr int kMaxYear = 2029;
+
+int parseInt(std::string_view digits) {
+  int v = 0;
+  for (char c : digits) v = v * 10 + (c - '0');
+  return v;
+}
+
+bool plausibleDayMonth(int a, int b) {
+  return (a >= 1 && a <= 31 && b >= 1 && b <= 12) ||
+         (a >= 1 && a <= 12 && b >= 1 && b <= 31);
+}
+
+}  // namespace
+
+std::vector<ZxMatch> matchYear(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  for (std::size_t i = 0; i + 4 <= pw.size(); ++i) {
+    const std::string_view sub = pw.substr(i, 4);
+    if (!std::all_of(sub.begin(), sub.end(), isDigit)) continue;
+    const int year = parseInt(sub);
+    if (year >= kMinYear && year <= kMaxYear) {
+      out.push_back({MatchKind::Year, i, i + 3,
+                     std::log2(static_cast<double>(kMaxYear - kMinYear + 1)),
+                     std::string(sub)});
+    }
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchDate(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  const double yearsSpan = static_cast<double>(kMaxYear - kMinYear + 1);
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    for (const std::size_t len : {std::size_t{8}, std::size_t{6}}) {
+      if (i + len > pw.size()) continue;
+      const std::string_view sub = pw.substr(i, len);
+      if (!std::all_of(sub.begin(), sub.end(), isDigit)) continue;
+      bool valid = false;
+      if (len == 8) {
+        // ddmmyyyy / mmddyyyy / yyyymmdd
+        const int head4 = parseInt(sub.substr(0, 4));
+        valid = (plausibleDayMonth(parseInt(sub.substr(0, 2)),
+                                   parseInt(sub.substr(2, 2))) &&
+                 parseInt(sub.substr(4, 4)) >= kMinYear &&
+                 parseInt(sub.substr(4, 4)) <= kMaxYear) ||
+                (head4 >= kMinYear && head4 <= kMaxYear &&
+                 plausibleDayMonth(parseInt(sub.substr(4, 2)),
+                                   parseInt(sub.substr(6, 2))));
+      } else {
+        // ddmmyy / mmddyy / yymmdd — require a day/month pair somewhere.
+        valid = plausibleDayMonth(parseInt(sub.substr(0, 2)),
+                                  parseInt(sub.substr(2, 2))) ||
+                plausibleDayMonth(parseInt(sub.substr(2, 2)),
+                                  parseInt(sub.substr(4, 2)));
+      }
+      if (valid) {
+        const double years = len == 8 ? yearsSpan : 100.0;
+        out.push_back({MatchKind::Date, i, i + len - 1,
+                       std::log2(31.0 * 12.0 * years), std::string(sub)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchDateSeparator(std::string_view pw) {
+  std::vector<ZxMatch> out;
+  auto isSep = [](char c) {
+    return c == '-' || c == '/' || c == '.' || c == '_' || c == ' ';
+  };
+  auto digitRun = [&](std::size_t i, std::size_t maxLen) -> std::size_t {
+    std::size_t len = 0;
+    while (i + len < pw.size() && len < maxLen && isDigit(pw[i + len])) {
+      ++len;
+    }
+    return len;
+  };
+  const double yearsSpan = static_cast<double>(kMaxYear - kMinYear + 1);
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    // Three digit groups joined by one separator character, e.g. d{1,4}
+    // SEP d{1,2} SEP d{1,4}; at least one group must read as a year or
+    // the day/month pair must be plausible.
+    const std::size_t a = digitRun(i, 4);
+    if (a == 0) continue;
+    std::size_t p = i + a;
+    if (p >= pw.size() || !isSep(pw[p])) continue;
+    const char sep = pw[p];
+    ++p;
+    const std::size_t b = digitRun(p, 2);
+    if (b == 0) continue;
+    p += b;
+    if (p >= pw.size() || pw[p] != sep) continue;
+    ++p;
+    const std::size_t c = digitRun(p, 4);
+    if (c == 0) continue;
+    p += c;
+
+    const int vA = parseInt(pw.substr(i, a));
+    const int vB = parseInt(pw.substr(i + a + 1, b));
+    const int vC = parseInt(pw.substr(p - c, c));
+    const bool yearFirst = a == 4 && vA >= kMinYear && vA <= kMaxYear &&
+                           plausibleDayMonth(vB, vC);
+    const bool yearLast =
+        plausibleDayMonth(vA, vB) &&
+        ((c == 4 && vC >= kMinYear && vC <= kMaxYear) || c == 2);
+    if (!yearFirst && !yearLast) continue;
+    const double years = (a == 4 || c == 4) ? yearsSpan : 100.0;
+    // +2 bits for the separator choice (v1 adds log2 of separators ~ 2.3).
+    out.push_back({MatchKind::Date, i, p - 1,
+                   std::log2(31.0 * 12.0 * years) + 2.0,
+                   std::string(pw.substr(i, p - i))});
+  }
+  return out;
+}
+
+std::vector<ZxMatch> matchAll(std::string_view pw,
+                              const RankedDictionary& dict) {
+  std::vector<ZxMatch> all;
+  for (auto&& matches :
+       {matchDictionary(pw, dict), matchReverseDictionary(pw, dict),
+        matchL33t(pw, dict), matchSpatial(pw), matchRepeat(pw),
+        matchSequence(pw), matchDigits(pw), matchYear(pw), matchDate(pw),
+        matchDateSeparator(pw)}) {
+    all.insert(all.end(), matches.begin(), matches.end());
+  }
+  return all;
+}
+
+}  // namespace fpsm

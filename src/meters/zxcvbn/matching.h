@@ -1,0 +1,99 @@
+// zxcvbn v1 matchers (Wheeler, Dropbox 2012 — the paper's baseline [35]).
+//
+// Each matcher finds substrings [i, j] of the password that fit a pattern
+// and assigns the pattern's entropy (bits). The scorer (zxcvbn.h) then
+// finds the minimum-entropy non-overlapping cover.
+//
+// Matchers implemented (the full v1 set): ranked-dictionary (with
+// uppercase-variation entropy), reverse-dictionary, l33t-decoded
+// dictionary, keyboard-spatial (qwerty + keypad), repeat, ascending /
+// descending sequence, plain digits, year, and date.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trie/trie.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+enum class MatchKind {
+  Dictionary,
+  ReverseDictionary,
+  L33tDictionary,
+  Spatial,
+  Repeat,
+  Sequence,
+  Digits,
+  Year,
+  Date,
+};
+
+struct ZxMatch {
+  MatchKind kind;
+  std::size_t i;      ///< first index (inclusive)
+  std::size_t j;      ///< last index (inclusive)
+  double entropy;     ///< bits charged for this pattern
+  std::string token;  ///< matched substring (diagnostics)
+};
+
+/// Ranked dictionary shared by the dictionary-family matchers.
+class RankedDictionary {
+ public:
+  /// Builds from the embedded word lists (common passwords, English words,
+  /// names, pinyin words, keyboard walks, digit strings), ranked in that
+  /// concatenation order.
+  static const RankedDictionary& embedded();
+
+  RankedDictionary() = default;
+
+  /// Adds a word with the next rank if absent. Words shorter than 3 chars
+  /// are ignored (they would shadow the bruteforce floor).
+  void add(std::string_view word);
+
+  /// Rank of the (lower-case) word, or 0 if absent. Ranks start at 1.
+  int rank(std::string_view lowerWord) const;
+
+  std::size_t size() const { return ranks_.size(); }
+
+  const Trie& trie() const { return trie_; }
+
+ private:
+  Trie trie_;
+  StringMap<int> ranks_;
+};
+
+/// Runs every matcher over pw.
+std::vector<ZxMatch> matchAll(std::string_view pw,
+                              const RankedDictionary& dict);
+
+// Individual matchers (exposed for unit tests).
+std::vector<ZxMatch> matchDictionary(std::string_view pw,
+                                     const RankedDictionary& dict);
+std::vector<ZxMatch> matchReverseDictionary(std::string_view pw,
+                                            const RankedDictionary& dict);
+std::vector<ZxMatch> matchL33t(std::string_view pw,
+                               const RankedDictionary& dict);
+std::vector<ZxMatch> matchSpatial(std::string_view pw);
+std::vector<ZxMatch> matchRepeat(std::string_view pw);
+std::vector<ZxMatch> matchSequence(std::string_view pw);
+std::vector<ZxMatch> matchDigits(std::string_view pw);
+std::vector<ZxMatch> matchYear(std::string_view pw);
+std::vector<ZxMatch> matchDate(std::string_view pw);
+/// Dates with separators: 13.5.1990, 1/13/90, 1990-05-13 (v1 date_sep).
+std::vector<ZxMatch> matchDateSeparator(std::string_view pw);
+
+/// Entropy of the upper/lower-case variation of a token (v1 formula):
+/// 0 for all-lower; 1 extra bit for first-upper, last-upper or all-upper;
+/// otherwise log2 of the number of ways to distribute the upper-case
+/// letters.
+double uppercaseEntropy(std::string_view token);
+
+/// Bruteforce cardinality of the character classes present in the token
+/// (lower 26, upper 26, digits 10, symbols 33).
+double bruteforceCardinality(std::string_view token);
+
+}  // namespace fpsm

@@ -1,0 +1,77 @@
+#include "meters/zxcvbn/zxcvbn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/wordlists.h"
+
+namespace fpsm {
+
+ZxcvbnMeter::ZxcvbnMeter() : dict_(&RankedDictionary::embedded()) {}
+
+ZxcvbnMeter::ZxcvbnMeter(const Dataset& extraDict) {
+  // Start from the embedded lists, then append the corpus passwords in
+  // descending frequency order (most common = best rank).
+  for (const auto list :
+       {words::commonPasswords(), words::chineseCommonPasswords(),
+        words::englishWords(),
+        words::englishNames(), words::pinyinWords(),
+        words::keyboardWalks(), words::digitStrings()}) {
+    for (const auto w : list) ownedDict_.add(w);
+  }
+  for (const auto& e : extraDict.sortedByFrequency()) {
+    ownedDict_.add(e.password);
+  }
+  dict_ = &ownedDict_;
+}
+
+ZxcvbnMeter::Analysis ZxcvbnMeter::analyze(std::string_view pw) const {
+  Analysis result;
+  const std::size_t n = pw.size();
+  if (n == 0) return result;
+
+  const auto matches = matchAll(pw, *dict_);
+  const double bruteBits = std::log2(bruteforceCardinality(pw));
+
+  // best[k]: minimum entropy of a cover of pw[0..k).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(n + 1, kInf);
+  // backPointer[k]: index into `matches` of the match ending at k-1, or -1
+  // for a bruteforce character.
+  std::vector<int> backPointer(n + 1, -1);
+  best[0] = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    best[k] = best[k - 1] + bruteBits;
+    backPointer[k] = -1;
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      if (matches[m].j + 1 != k) continue;
+      const double candidate = best[matches[m].i] + matches[m].entropy;
+      if (candidate < best[k]) {
+        best[k] = candidate;
+        backPointer[k] = static_cast<int>(m);
+      }
+    }
+  }
+  result.entropy = best[n];
+
+  // Reconstruct the chosen cover (matches only; filler chars are implied).
+  std::size_t k = n;
+  while (k > 0) {
+    if (backPointer[k] >= 0) {
+      const auto& m = matches[static_cast<std::size_t>(backPointer[k])];
+      result.cover.push_back(m);
+      k = m.i;
+    } else {
+      --k;
+    }
+  }
+  std::reverse(result.cover.begin(), result.cover.end());
+  return result;
+}
+
+double ZxcvbnMeter::strengthBits(std::string_view pw) const {
+  return analyze(pw).entropy;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,43 @@
+// zxcvbn v1 scorer (Wheeler, Dropbox 2012 — the paper's baseline [35]).
+//
+// The score of a password is the entropy of the minimum-entropy
+// non-overlapping cover of its pattern matches, with per-character
+// bruteforce filler between matches — exactly the v1 "minimum entropy
+// match sequence" dynamic program.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "meters/zxcvbn/matching.h"
+#include "model/meter.h"
+
+namespace fpsm {
+
+class ZxcvbnMeter : public Meter {
+ public:
+  /// Uses the embedded ranked dictionaries.
+  ZxcvbnMeter();
+
+  /// Additionally ranks the passwords of `extraDict` (by descending
+  /// frequency) after the embedded lists — an operator-tuned deployment.
+  explicit ZxcvbnMeter(const Dataset& extraDict);
+
+  std::string name() const override { return "Zxcvbn"; }
+  double strengthBits(std::string_view pw) const override;
+
+  /// The match set and chosen cover for diagnostics and tests.
+  struct Analysis {
+    double entropy = 0.0;
+    std::vector<ZxMatch> cover;  // chosen matches, left to right
+  };
+  Analysis analyze(std::string_view pw) const;
+
+ private:
+  const RankedDictionary* dict_;       // embedded singleton, or...
+  RankedDictionary ownedDict_;         // ...the augmented copy
+};
+
+}  // namespace fpsm

@@ -1,0 +1,50 @@
+// Feedback buckets: the [weak, fair, good, strong] labels real deployments
+// show users (paper Sec. II-B: "the values of a meter are often grouped
+// into a few buckets", e.g. Google's four-bucket meter of Fig. 1).
+//
+// Thresholds are expressed in strength bits so every meter in this
+// repository can drive the same UI; the defaults place the weak/fair
+// boundary at the online-guessing budget and fair/good near the offline
+// budget of the paper's Table I (2^13.3 ~ 10^4 guesses, 2^30 ~ 10^9).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <string_view>
+
+#include "model/meter.h"
+
+namespace fpsm {
+
+enum class StrengthBucket { Weak, Fair, Good, Strong };
+
+constexpr std::string_view bucketName(StrengthBucket b) {
+  switch (b) {
+    case StrengthBucket::Weak: return "weak";
+    case StrengthBucket::Fair: return "fair";
+    case StrengthBucket::Good: return "good";
+    case StrengthBucket::Strong: return "strong";
+  }
+  return "?";
+}
+
+struct BucketThresholds {
+  double fairAt = 13.3;    ///< ~10^4 guesses: online trawling budget
+  double goodAt = 30.0;    ///< ~10^9 guesses: offline trawling budget
+  double strongAt = 45.0;  ///< comfortably beyond commodity offline rigs
+
+  constexpr StrengthBucket bucketOf(double bits) const {
+    if (!(bits >= fairAt)) return StrengthBucket::Weak;  // NaN -> Weak
+    if (bits < goodAt) return StrengthBucket::Fair;
+    if (bits < strongAt) return StrengthBucket::Good;
+    return StrengthBucket::Strong;
+  }
+};
+
+/// Convenience: classify pw under a meter with the default thresholds.
+inline StrengthBucket classify(const Meter& meter, std::string_view pw,
+                               const BucketThresholds& t = {}) {
+  return t.bucketOf(meter.strengthBits(pw));
+}
+
+}  // namespace fpsm

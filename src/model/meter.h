@@ -1,0 +1,36 @@
+// The common password-strength-meter interface (paper Sec. II-B).
+//
+// A meter is a function M(pw) -> score. We standardize every meter in this
+// repository to report *strength in bits* (larger = stronger):
+//   - probabilistic meters (PCFG, Markov, fuzzyPSM, ideal) report
+//     -log2 P(pw);
+//   - entropy-rule meters (NIST, zxcvbn, KeePSM) report their entropy
+//     estimate directly.
+// Rank correlation against the ideal meter is invariant under any monotone
+// rescaling, so this normalization does not affect the evaluation; it only
+// gives callers one comparable unit.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace fpsm {
+
+class Meter {
+ public:
+  virtual ~Meter() = default;
+
+  /// Human-readable meter name ("fuzzyPSM", "PCFG-PSM", ...).
+  virtual std::string name() const = 0;
+
+  /// Strength estimate in bits; larger = stronger. Passwords the model
+  /// assigns probability zero get +infinity.
+  virtual double strengthBits(std::string_view pw) const = 0;
+
+ protected:
+  static constexpr double kInfiniteBits =
+      std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fpsm

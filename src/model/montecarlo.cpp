@@ -1,0 +1,52 @@
+#include "model/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/error.h"
+
+namespace fpsm {
+
+MonteCarloEstimator::MonteCarloEstimator(const ProbabilisticModel& model,
+                                         std::size_t samples, Rng& rng) {
+  if (samples == 0) throw InvalidArgument("MonteCarloEstimator: 0 samples");
+  sortedLog2_.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::string pw = model.sample(rng);
+    const double lp = model.log2Prob(pw);
+    if (!std::isfinite(lp)) {
+      // A sample the model itself cannot score indicates an inconsistent
+      // model implementation; fail loudly rather than skew the estimate.
+      throw Error("MonteCarloEstimator: sampled password has zero prob: " +
+                  pw);
+    }
+    sortedLog2_.push_back(lp);
+  }
+  std::sort(sortedLog2_.begin(), sortedLog2_.end(), std::greater<>());
+  prefixInvMass_.resize(samples);
+  const double log2n = std::log2(static_cast<double>(samples));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    // 1 / (n * p_i), with the exponent clamped so one astronomically
+    // improbable sample cannot overflow the whole suffix to infinity —
+    // guess numbers beyond 2^500 are equally meaningless either way.
+    acc += std::exp2(std::min(-sortedLog2_[i] - log2n, 500.0));
+    prefixInvMass_[i] = acc;
+  }
+}
+
+double MonteCarloEstimator::guessNumber(double log2Prob) const {
+  // Count samples with strictly larger probability (== larger log2Prob).
+  const auto it = std::lower_bound(sortedLog2_.begin(), sortedLog2_.end(),
+                                   log2Prob, std::greater<>());
+  const auto idx = static_cast<std::size_t>(it - sortedLog2_.begin());
+  const double mass = idx == 0 ? 0.0 : prefixInvMass_[idx - 1];
+  return 1.0 + mass;
+}
+
+double MonteCarloEstimator::guessNumberCeiling() const {
+  return 1.0 + prefixInvMass_.back();
+}
+
+}  // namespace fpsm

@@ -1,0 +1,53 @@
+// Monte Carlo guess-number estimation (Dell'Amico & Filippone, ACM CCS'15,
+// cited by the paper as [20]).
+//
+// Given a probabilistic model, draw n i.i.d. samples from it. For a target
+// password with probability p, the number of passwords the model would
+// guess before it (its guess number) is estimated by
+//   G(p) ~= 1 + sum over samples with p_i > p of 1 / (n * p_i)
+// which is an unbiased, strongly consistent estimator of the true rank.
+// This converts probabilities to guess numbers without enumerating the
+// model's (astronomically large) guess list — used for Fig. 10 and
+// Table II.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/probabilistic.h"
+#include "util/rng.h"
+
+namespace fpsm {
+
+class MonteCarloEstimator {
+ public:
+  /// Draws `samples` passwords from `model`. The model must outlive only
+  /// this constructor; the estimator keeps no reference.
+  MonteCarloEstimator(const ProbabilisticModel& model, std::size_t samples,
+                      Rng& rng);
+
+  /// Estimated guess number for a password with the given log2-probability.
+  /// Probability-zero passwords (log2p == -inf) return guessNumberCeiling().
+  double guessNumber(double log2Prob) const;
+
+  /// Convenience: estimate for a concrete password via the model. (The
+  /// model is passed again so the estimator itself stays model-agnostic.)
+  double guessNumberOf(const ProbabilisticModel& model,
+                       std::string_view pw) const {
+    return guessNumber(model.log2Prob(pw));
+  }
+
+  /// Upper bound reported for probability-zero passwords: one past the
+  /// estimated total mass position of the weakest sample.
+  double guessNumberCeiling() const;
+
+  std::size_t sampleCount() const { return sortedLog2_.size(); }
+
+ private:
+  // log2 probabilities of the samples, sorted descending (strongest head
+  // first), plus the prefix sums of 1/(n * p_i) in the same order.
+  std::vector<double> sortedLog2_;
+  std::vector<double> prefixInvMass_;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,48 @@
+// Interface for probabilistic password models (paper Sec. II-B: meters
+// whose scores sum to 1 over the password space).
+//
+// These models additionally support sampling (needed by the Monte Carlo
+// guess-number estimator) and, where implemented, enumeration of guesses in
+// decreasing probability order (needed by the cracking-style experiments,
+// Table III). As the paper notes, "probabilistic-model-based PSMs are
+// essentially password cracking tools".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "model/meter.h"
+#include "util/rng.h"
+
+namespace fpsm {
+
+/// Callback fed with guesses in decreasing probability order. Return false
+/// to stop enumeration early.
+using GuessCallback =
+    std::function<bool(std::string_view guess, double log2Prob)>;
+
+class ProbabilisticModel : public Meter {
+ public:
+  /// log2 of the model probability of pw; -infinity if the model assigns
+  /// probability zero.
+  virtual double log2Prob(std::string_view pw) const = 0;
+
+  /// Draws one password from the model distribution.
+  virtual std::string sample(Rng& rng) const = 0;
+
+  /// True if enumerateGuesses is implemented.
+  virtual bool supportsEnumeration() const { return false; }
+
+  /// Emits up to maxGuesses guesses in (approximately, for threshold-search
+  /// models exactly within a band) decreasing probability order.
+  virtual void enumerateGuesses(std::uint64_t /*maxGuesses*/,
+                                const GuessCallback& /*cb*/) const {}
+
+  double strengthBits(std::string_view pw) const override {
+    return -log2Prob(pw);
+  }
+};
+
+}  // namespace fpsm

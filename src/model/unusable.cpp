@@ -1,0 +1,60 @@
+#include "model/unusable.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+std::vector<UnusableCheckpoint> unusableGuessAnalysis(
+    const ProbabilisticModel& model, const Dataset& testSet,
+    std::vector<std::uint64_t> checkpoints) {
+  if (checkpoints.empty()) {
+    throw InvalidArgument("unusableGuessAnalysis: no checkpoints");
+  }
+  if (!std::is_sorted(checkpoints.begin(), checkpoints.end())) {
+    throw InvalidArgument("unusableGuessAnalysis: checkpoints not ascending");
+  }
+  if (!model.supportsEnumeration()) {
+    throw InvalidArgument("unusableGuessAnalysis: model '" + model.name() +
+                          "' does not support guess enumeration");
+  }
+
+  std::vector<UnusableCheckpoint> out;
+  out.reserve(checkpoints.size());
+
+  StringSet seen;  // models may emit duplicates across bands; count once
+  UnusableCheckpoint acc;
+  std::size_t nextCp = 0;
+
+  model.enumerateGuesses(
+      checkpoints.back(), [&](std::string_view guess, double) {
+        if (!seen.emplace(guess).second) return true;  // skip duplicate
+        ++acc.guesses;
+        const std::uint64_t f = testSet.frequency(guess);
+        if (f == 0) {
+          ++acc.unusable;
+        } else {
+          ++acc.crackedUnique;
+          acc.crackedMass += f;
+        }
+        while (nextCp < checkpoints.size() &&
+               acc.guesses == checkpoints[nextCp]) {
+          out.push_back(acc);
+          out.back().guesses = checkpoints[nextCp];
+          ++nextCp;
+        }
+        return acc.guesses < checkpoints.back();
+      });
+
+  // Guess list exhausted before the remaining checkpoints were reached.
+  while (nextCp < checkpoints.size()) {
+    out.push_back(acc);
+    out.back().guesses = checkpoints[nextCp];
+    ++nextCp;
+  }
+  return out;
+}
+
+}  // namespace fpsm

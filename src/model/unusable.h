@@ -1,0 +1,33 @@
+// "Un-usable guess" analysis (paper Table III).
+//
+// A guess emitted by a cracking model is *un-usable* if it does not appear
+// in the test set. The number of un-usable guesses among the top-N guesses
+// partially indicates the goodness of the model: fewer is better. The paper
+// reports this at N = 10^2, 10^4, 10^6, 10^7 for the PCFG- and Markov-based
+// models to reconcile "PCFG measures better, Markov cracks better".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "model/probabilistic.h"
+
+namespace fpsm {
+
+struct UnusableCheckpoint {
+  std::uint64_t guesses = 0;        ///< N (top-N prefix of the guess list)
+  std::uint64_t unusable = 0;       ///< guesses absent from the test set
+  std::uint64_t crackedUnique = 0;  ///< distinct test passwords hit
+  std::uint64_t crackedMass = 0;    ///< test occurrences covered
+};
+
+/// Enumerates up to the largest checkpoint from `model` and tallies the
+/// checkpoints against `testSet`. `checkpoints` must be ascending.
+/// If the model's guess list is exhausted early, the remaining checkpoints
+/// report the state at exhaustion.
+std::vector<UnusableCheckpoint> unusableGuessAnalysis(
+    const ProbabilisticModel& model, const Dataset& testSet,
+    std::vector<std::uint64_t> checkpoints);
+
+}  // namespace fpsm

@@ -1,0 +1,190 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "stats/rank.h"
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+void requireSameSize(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw InvalidArgument("correlation: vectors differ in length");
+  }
+}
+
+/// Counts inversions in `v` (modifying it into sorted order) via merge sort.
+std::uint64_t countInversions(std::vector<double>& v,
+                              std::vector<double>& scratch, std::size_t lo,
+                              std::size_t hi) {
+  if (hi - lo < 2) return 0;
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::uint64_t inv = countInversions(v, scratch, lo, mid) +
+                      countInversions(v, scratch, mid, hi);
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if (v[j] < v[i]) {
+      inv += mid - i;
+      scratch[k++] = v[j++];
+    } else {
+      scratch[k++] = v[i++];
+    }
+  }
+  while (i < mid) scratch[k++] = v[i++];
+  while (j < hi) scratch[k++] = v[j++];
+  std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+            scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+            v.begin() + static_cast<std::ptrdiff_t>(lo));
+  return inv;
+}
+
+/// Sum over equal-value runs of t*(t-1)/2 in a sorted vector.
+std::uint64_t tiedPairs(const std::vector<double>& sorted) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const std::uint64_t t = j - i + 1;
+    total += t * (t - 1) / 2;
+    i = j + 1;
+  }
+  return total;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  requireSameSize(x, y);
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearmanRho(std::span<const double> x, std::span<const double> y) {
+  requireSameSize(x, y);
+  const auto rx = averageRanks(x);
+  const auto ry = averageRanks(y);
+  return pearson(rx, ry);
+}
+
+double kendallTauB(std::span<const double> x, std::span<const double> y) {
+  requireSameSize(x, y);
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+
+  // Sort index order by (x asc, y asc) so pairs tied on x are never counted
+  // as inversions.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (x[a] != x[b]) return x[a] < x[b];
+    return y[a] < y[b];
+  });
+
+  // Tie statistics.
+  std::uint64_t n1 = 0;  // pairs tied on x
+  std::uint64_t n3 = 0;  // pairs tied on both
+  {
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i;
+      while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+      const std::uint64_t t = j - i + 1;
+      n1 += t * (t - 1) / 2;
+      // within the x-tie block, count y ties
+      std::size_t a = i;
+      while (a <= j) {
+        std::size_t b = a;
+        while (b + 1 <= j && y[order[b + 1]] == y[order[a]]) ++b;
+        const std::uint64_t u = b - a + 1;
+        n3 += u * (u - 1) / 2;
+        a = b + 1;
+      }
+      i = j + 1;
+    }
+  }
+
+  std::vector<double> ysorted(n);
+  for (std::size_t i = 0; i < n; ++i) ysorted[i] = y[order[i]];
+
+  std::vector<double> ycopy = ysorted;
+  std::vector<double> scratch(n);
+  const std::uint64_t swaps = countInversions(ycopy, scratch, 0, n);
+  const std::uint64_t n2 = tiedPairs(ycopy);  // ycopy now fully sorted
+
+  const std::uint64_t n0 = static_cast<std::uint64_t>(n) *
+                           (static_cast<std::uint64_t>(n) - 1) / 2;
+  // P - Q = n0 - n1 - n2 + n3 - 2 * discordant
+  const double pMinusQ = static_cast<double>(n0) - static_cast<double>(n1) -
+                         static_cast<double>(n2) + static_cast<double>(n3) -
+                         2.0 * static_cast<double>(swaps);
+  const double denomX = static_cast<double>(n0 - n1);
+  const double denomY = static_cast<double>(n0 - n2);
+  if (denomX <= 0.0 || denomY <= 0.0) return 0.0;
+  return pMinusQ / std::sqrt(denomX * denomY);
+}
+
+std::vector<CurvePoint> correlationCurve(std::span<const double> reference,
+                                         std::span<const double> candidate,
+                                         std::span<const std::size_t> ks,
+                                         bool useKendall) {
+  requireSameSize(reference, candidate);
+  std::vector<std::size_t> clamped;
+  clamped.reserve(ks.size());
+  for (std::size_t k : ks) {
+    const std::size_t c = std::min(k, reference.size());
+    if (c >= 2 && (clamped.empty() || clamped.back() != c)) {
+      clamped.push_back(c);
+    }
+  }
+  std::vector<CurvePoint> out;
+  out.reserve(clamped.size());
+  for (std::size_t k : clamped) {
+    const auto rx = reference.subspan(0, k);
+    const auto ry = candidate.subspan(0, k);
+    const double v = useKendall ? kendallTauB(rx, ry) : spearmanRho(rx, ry);
+    out.push_back({k, v});
+  }
+  return out;
+}
+
+std::vector<std::size_t> logSpacedKs(std::size_t lo, std::size_t hi,
+                                     std::size_t points) {
+  if (lo < 2) lo = 2;
+  if (hi < lo) hi = lo;
+  if (points < 2) points = 2;
+  std::vector<std::size_t> ks;
+  ks.reserve(points);
+  const double llo = std::log(static_cast<double>(lo));
+  const double lhi = std::log(static_cast<double>(hi));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto k = static_cast<std::size_t>(
+        std::llround(std::exp(llo + f * (lhi - llo))));
+    if (ks.empty() || ks.back() != k) ks.push_back(k);
+  }
+  return ks;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,45 @@
+// Spearman rho and Kendall tau-b rank correlation (paper Sec. II-C,
+// equations (6) and (7)).
+//
+// Kendall tau-b is computed with Knight's O(n log n) algorithm (merge-sort
+// inversion counting plus tie corrections), which is what makes sweeping the
+// correlation over the top-k prefix for many k feasible on 10^5..10^6 item
+// rankings.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fpsm {
+
+/// Pearson correlation of two equal-length vectors. Returns 0 for degenerate
+/// (constant) input.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rho with average-rank tie handling. Defined as Pearson on ranks.
+double spearmanRho(std::span<const double> x, std::span<const double> y);
+
+/// Kendall tau-b with tie corrections (Knight's algorithm, O(n log n)).
+/// Returns 0 when either vector is entirely tied.
+double kendallTauB(std::span<const double> x, std::span<const double> y);
+
+/// One evaluation point of a paper-style correlation curve.
+struct CurvePoint {
+  std::size_t k;   ///< prefix size (top-k by the reference ranking)
+  double value;    ///< correlation over that prefix
+};
+
+/// Computes correlation over growing prefixes. `reference` and `candidate`
+/// must already be ordered by the reference ranking (element 0 = rank 1).
+/// `ks` lists the prefix sizes to evaluate (values > n are clamped to n,
+/// duplicates after clamping are dropped).
+std::vector<CurvePoint> correlationCurve(
+    std::span<const double> reference, std::span<const double> candidate,
+    std::span<const std::size_t> ks, bool useKendall);
+
+/// Log-spaced prefix grid from `lo` to `hi` (inclusive-ish), `points` many.
+std::vector<std::size_t> logSpacedKs(std::size_t lo, std::size_t hi,
+                                     std::size_t points);
+
+}  // namespace fpsm

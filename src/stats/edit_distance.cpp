@@ -1,0 +1,26 @@
+#include "stats/edit_distance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace fpsm {
+
+std::size_t editDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter row
+  std::vector<std::size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), std::size_t{0});
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];  // row[j-1] of the previous row
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t prev = row[j];
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+      diag = prev;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace fpsm

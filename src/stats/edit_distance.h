@@ -1,0 +1,17 @@
+// Levenshtein edit distance.
+//
+// Used to quantify how similar a modified password is to its base (the
+// paper's survey Fig. 3: over 80% of users submit passwords "similar" to
+// an existing one) and to verify the suggestion engine's edit budget.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace fpsm {
+
+/// Classic Levenshtein distance (unit-cost insert/delete/substitute).
+/// O(|a| * |b|) time, O(min) memory.
+std::size_t editDistance(std::string_view a, std::string_view b);
+
+}  // namespace fpsm

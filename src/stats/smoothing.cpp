@@ -1,0 +1,41 @@
+#include "stats/smoothing.h"
+
+#include "util/error.h"
+
+namespace fpsm {
+
+double additiveSmoothed(std::uint64_t count, std::uint64_t total,
+                        std::uint64_t vocab, double delta) {
+  if (vocab == 0) throw InvalidArgument("additiveSmoothed: zero vocab");
+  if (delta < 0.0) throw InvalidArgument("additiveSmoothed: negative delta");
+  const double denom =
+      static_cast<double>(total) + delta * static_cast<double>(vocab);
+  if (denom <= 0.0) throw InvalidArgument("additiveSmoothed: empty model");
+  return (static_cast<double>(count) + delta) / denom;
+}
+
+GoodTuring::GoodTuring(std::span<const std::uint64_t> counts) {
+  for (std::uint64_t c : counts) {
+    if (c == 0) throw InvalidArgument("GoodTuring: zero count");
+    ++freqOfFreq_[c];
+    total_ += c;
+  }
+  if (total_ == 0) throw InvalidArgument("GoodTuring: empty input");
+  const auto it = freqOfFreq_.find(1);
+  const std::uint64_t n1 = it == freqOfFreq_.end() ? 0 : it->second;
+  unseenMass_ = static_cast<double>(n1) / static_cast<double>(total_);
+}
+
+double GoodTuring::adjustedCount(std::uint64_t c) const {
+  if (c == 0) return 0.0;
+  const auto nc = freqOfFreq_.find(c);
+  const auto nc1 = freqOfFreq_.find(c + 1);
+  if (nc == freqOfFreq_.end() || nc1 == freqOfFreq_.end() ||
+      nc->second == 0) {
+    return static_cast<double>(c);  // sparse tail: keep the raw count
+  }
+  return static_cast<double>(c + 1) * static_cast<double>(nc1->second) /
+         static_cast<double>(nc->second);
+}
+
+}  // namespace fpsm

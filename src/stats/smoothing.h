@@ -1,0 +1,45 @@
+// Count smoothing used by the Markov meter variants (paper Sec. IV-B cites
+// backoff, Laplace and Good-Turing smoothing from Ma et al., IEEE S&P'14).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace fpsm {
+
+/// Additive (Laplace / Lidstone) smoothing: probability of an event with
+/// count c out of `total`, with `vocab` possible outcomes and pseudo-count
+/// delta (delta = 1 gives Laplace).
+double additiveSmoothed(std::uint64_t count, std::uint64_t total,
+                        std::uint64_t vocab, double delta = 1.0);
+
+/// Simple Good-Turing adjusted counts.
+///
+/// Implements the classic "simple Good-Turing" recipe: adjusted count
+/// c* = (c+1) * N_{c+1} / N_c, falling back to the raw count when the
+/// frequency-of-frequency N_{c+1} is zero (the sparse tail). The unseen
+/// event mass is N_1 / N.
+class GoodTuring {
+ public:
+  /// Builds from a list of observed event counts (one entry per distinct
+  /// event; all counts must be >= 1).
+  explicit GoodTuring(std::span<const std::uint64_t> counts);
+
+  /// Adjusted (discounted) count for a raw count c >= 1.
+  double adjustedCount(std::uint64_t c) const;
+
+  /// Total probability mass reserved for unseen events: N1 / N.
+  double unseenMass() const { return unseenMass_; }
+
+  /// Total observations N.
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> freqOfFreq_;
+  std::uint64_t total_ = 0;
+  double unseenMass_ = 0.0;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,56 @@
+#include "stats/zipf.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+std::vector<double> zipfWeights(std::size_t n, double s) {
+  if (n == 0) throw InvalidArgument("ZipfSampler: n == 0");
+  std::vector<double> w(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    w[r] = std::pow(static_cast<double>(r + 1), -s);
+  }
+  return w;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+    : n_(n), s_(s), sampler_(zipfWeights(n, s)) {}
+
+ZipfFit fitZipf(std::span<const std::uint64_t> descendingFrequencies) {
+  std::vector<double> lx, ly;
+  for (std::size_t r = 0; r < descendingFrequencies.size(); ++r) {
+    if (descendingFrequencies[r] == 0) continue;
+    lx.push_back(std::log(static_cast<double>(r + 1)));
+    ly.push_back(std::log(static_cast<double>(descendingFrequencies[r])));
+  }
+  const std::size_t n = lx.size();
+  if (n < 2) throw InvalidArgument("fitZipf: need >= 2 positive frequencies");
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += lx[i];
+    my += ly[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (lx[i] - mx) * (ly[i] - my);
+    sxx += (lx[i] - mx) * (lx[i] - mx);
+    syy += (ly[i] - my) * (ly[i] - my);
+  }
+  if (sxx <= 0.0) throw InvalidArgument("fitZipf: degenerate ranks");
+  const double slope = sxy / sxx;
+  ZipfFit fit;
+  fit.exponent = -slope;
+  fit.intercept = my - slope * mx;
+  fit.r2 = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,43 @@
+// Zipf (power-law) rank-frequency utilities.
+//
+// Real password datasets have strongly Zipfian popularity heads (Bonneau,
+// IEEE S&P'12; Wang et al.). The synthetic dataset generator samples
+// popularity from a Zipf distribution and the analysis code fits the
+// exponent back so benches can report the generated corpora match the
+// target shape.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/rng.h"
+
+namespace fpsm {
+
+/// Samples ranks in [0, n) with P(r) proportional to 1/(r+1)^s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t operator()(Rng& rng) const { return sampler_(rng); }
+  std::size_t size() const { return n_; }
+  double exponent() const { return s_; }
+
+ private:
+  std::size_t n_;
+  double s_;
+  DiscreteSampler sampler_;
+};
+
+struct ZipfFit {
+  double exponent;   ///< fitted s in f(r) ~ C / r^s
+  double intercept;  ///< fitted log C
+  double r2;         ///< goodness of the log-log linear fit
+};
+
+/// Least-squares fit of log(frequency) against log(rank) for a descending
+/// frequency vector (rank 1 = most frequent). Frequencies of zero are
+/// skipped. Requires at least two positive entries.
+ZipfFit fitZipf(std::span<const std::uint64_t> descendingFrequencies);
+
+}  // namespace fpsm

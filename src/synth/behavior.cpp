@@ -1,0 +1,35 @@
+#include "synth/behavior.h"
+
+namespace fpsm {
+
+CreationChoice SurveyModel::sampleCreationChoice(Rng& rng) const {
+  const double r = rng.uniform();
+  if (r < reuseExact) return CreationChoice::ReuseExact;
+  if (r < reuseExact + modifyExisting) return CreationChoice::ModifyExisting;
+  return CreationChoice::CreateNew;
+}
+
+MangleRule SurveyModel::samplePrimaryRule(Rng& rng) const {
+  const double weights[] = {ruleConcatenate,   ruleCapitalize, ruleLeet,
+                            ruleSubstringMove, ruleReverse,    ruleAddSiteInfo};
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = rng.uniform() * total;
+  int idx = 0;
+  for (double w : weights) {
+    r -= w;
+    if (r < 0) break;
+    ++idx;
+  }
+  if (idx > 5) idx = 5;
+  return static_cast<MangleRule>(idx);
+}
+
+Placement SurveyModel::samplePlacement(Rng& rng) const {
+  const double r = rng.uniform();
+  if (r < placeEnd) return Placement::End;
+  if (r < placeEnd + placeBeginning) return Placement::Beginning;
+  return Placement::Middle;
+}
+
+}  // namespace fpsm

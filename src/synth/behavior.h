@@ -1,0 +1,79 @@
+// Survey-derived user behavior model (paper Sec. III, Figs. 2-8).
+//
+// The paper's 442-participant survey quantifies how users choose passwords
+// for a new service. We encode its published marginals as a sampling model;
+// the synthetic dataset generator draws user decisions from it, and
+// bench_survey re-derives the figures by sampling, closing the loop with
+// the paper's numbers.
+//
+// Values marked "est." are read off the paper's bar charts (the paper gives
+// exact numbers only for the headline figures); they are configuration, not
+// code, and can be overridden per experiment.
+#pragma once
+
+#include "util/rng.h"
+
+namespace fpsm {
+
+enum class Language { Chinese, English };
+
+/// What the user does when asked for a password at a new service (Fig. 2).
+enum class CreationChoice { ReuseExact, ModifyExisting, CreateNew };
+
+/// Where an appended character lands (Figs. 6 and 7).
+enum class Placement { End, Beginning, Middle };
+
+/// One transformation rule of Fig. 5.
+enum class MangleRule {
+  Concatenate,       // add digit(s)/symbol(s)
+  Capitalize,        // upper-case (mostly the first letter, Fig. 8)
+  Leet,              // a<->@ style substitution
+  SubstringMove,     // move a chunk (modelled as rotate)
+  Reverse,           // reverse the string
+  AddSiteInfo,       // append service-specific tag
+};
+
+struct SurveyModel {
+  // --- Fig. 2: creation choice. 77.38% reuse-or-modify, 14.48% new. -----
+  double reuseExact = 0.4100;      // est. split of the 77.38%
+  double modifyExisting = 0.3638;  // 0.7738 - reuseExact
+  // CreateNew = remainder (includes the survey's "other" answers).
+
+  // --- Fig. 5: transformation rule mix (multiple choice, renormalized to
+  //     a single primary rule per modification). --------------------------
+  double ruleConcatenate = 0.52;   // est.; "concatenation takes the lead"
+  double ruleCapitalize = 0.16;    // est.
+  double ruleLeet = 0.10;          // est.
+  double ruleSubstringMove = 0.08; // est.
+  double ruleReverse = 0.05;       // est.
+  double ruleAddSiteInfo = 0.09;   // est.
+
+  /// Probability a modification applies a second rule on top of the first.
+  double secondRule = 0.15;  // est.
+
+  // --- Figs. 6/7: placement of an added digit / symbol. -----------------
+  double placeEnd = 0.62;        // est.; "end, middle, beginning in
+  double placeBeginning = 0.20;  //  decreasing order of likelihood"
+  // Middle = remainder.
+
+  /// Fraction of concatenations that add a symbol rather than digits
+  /// (symbols are rare in real corpora, Table IX).
+  double concatSymbol = 0.06;  // est.
+
+  // --- Fig. 8: capitalization placement. ---------------------------------
+  double capFirstLetter = 0.4796;  // paper: 47.96% capitalize the first
+  double capNone = 0.2262;         // paper: 22.62% never capitalize
+  // Remainder: somewhere else (modelled as a random position).
+
+  /// The paper's headline: fraction who reuse or modify = 77.38%.
+  double reuseOrModify() const { return reuseExact + modifyExisting; }
+
+  CreationChoice sampleCreationChoice(Rng& rng) const;
+  MangleRule samplePrimaryRule(Rng& rng) const;
+  Placement samplePlacement(Rng& rng) const;
+
+  /// The paper's configuration.
+  static SurveyModel paper() { return {}; }
+};
+
+}  // namespace fpsm

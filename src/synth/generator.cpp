@@ -1,0 +1,209 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+
+#include "util/chars.h"
+#include "util/hash.h"
+
+namespace fpsm {
+namespace {
+
+/// Applies first-letter (or random-position) capitalization per Fig. 8.
+std::string capitalize(std::string pw, const SurveyModel& survey, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < survey.capNone) return pw;
+  if (r < survey.capNone + survey.capFirstLetter) {
+    if (!pw.empty() && isLower(pw[0])) pw[0] = toUpper(pw[0]);
+    return pw;
+  }
+  // Somewhere else: a random letter position.
+  std::vector<std::size_t> letterPos;
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    if (isLower(pw[i])) letterPos.push_back(i);
+  }
+  if (!letterPos.empty()) {
+    const std::size_t p = letterPos[rng.below(letterPos.size())];
+    pw[p] = toUpper(pw[p]);
+  }
+  return pw;
+}
+
+/// Applies one leet substitution at a random eligible position.
+std::string leetify(std::string pw, Rng& rng) {
+  std::vector<std::size_t> sites;
+  for (std::size_t i = 0; i < pw.size(); ++i) {
+    // Only letter -> substitute direction (users "leetify", they don't
+    // "unleetify"): the character must be a lower-case rule letter.
+    if (isLower(pw[i]) && leetRuleOf(pw[i]).has_value()) sites.push_back(i);
+  }
+  if (!sites.empty()) {
+    const std::size_t p = sites[rng.below(sites.size())];
+    if (const auto partner = leetPartner(pw[p])) pw[p] = *partner;
+  }
+  return pw;
+}
+
+std::string insertAt(std::string pw, std::string_view addition,
+                     Placement where, Rng& rng) {
+  switch (where) {
+    case Placement::End: return pw + std::string(addition);
+    case Placement::Beginning: return std::string(addition) + pw;
+    case Placement::Middle: {
+      const std::size_t pos = pw.empty() ? 0 : 1 + rng.below(pw.size());
+      pw.insert(pos, addition);
+      return pw;
+    }
+  }
+  return pw;
+}
+
+constexpr std::string_view kSymbols = "!@#.$*_-?";
+
+}  // namespace
+
+DatasetGenerator::DatasetGenerator(const PopulationModel& population,
+                                   SurveyModel survey, std::uint64_t seed)
+    : population_(population), survey_(survey), seed_(seed) {}
+
+std::string DatasetGenerator::applyRule(MangleRule rule, std::string pw,
+                                        const ServiceProfile& service,
+                                        const Vocabulary& vocab,
+                                        Rng& rng) const {
+  switch (rule) {
+    case MangleRule::Concatenate: {
+      std::string addition;
+      if (rng.chance(survey_.concatSymbol)) {
+        addition = std::string(1, kSymbols[rng.below(kSymbols.size())]);
+      } else if (rng.chance(0.3)) {
+        addition = vocab.randomDigits(rng, 1 + rng.below(3));
+      } else if (rng.chance(0.5)) {
+        addition = std::string(1, static_cast<char>('0' + rng.below(10)));
+      } else {
+        addition = rng.chance(0.5) ? vocab.year(rng) : "123";
+      }
+      return insertAt(std::move(pw), addition,
+                      survey_.samplePlacement(rng), rng);
+    }
+    case MangleRule::Capitalize:
+      return capitalize(std::move(pw), survey_, rng);
+    case MangleRule::Leet:
+      return leetify(std::move(pw), rng);
+    case MangleRule::SubstringMove: {
+      // Rotate: move the first chunk to the end (e.g. abc123 -> 123abc).
+      if (pw.size() >= 4) {
+        const std::size_t cut = 1 + rng.below(pw.size() - 2);
+        return pw.substr(cut) + pw.substr(0, cut);
+      }
+      return pw;
+    }
+    case MangleRule::Reverse:
+      std::reverse(pw.begin(), pw.end());
+      return pw;
+    case MangleRule::AddSiteInfo:
+      return pw + service.siteTag;
+  }
+  return pw;
+}
+
+std::string DatasetGenerator::modifyPassword(const std::string& base,
+                                             const ServiceProfile& service,
+                                             const Vocabulary& vocab,
+                                             Rng& rng) const {
+  std::string pw = applyRule(survey_.samplePrimaryRule(rng), base, service,
+                             vocab, rng);
+  if (rng.chance(survey_.secondRule)) {
+    pw = applyRule(survey_.samplePrimaryRule(rng), std::move(pw), service,
+                   vocab, rng);
+  }
+  return pw;
+}
+
+std::string DatasetGenerator::freshPassword(const ServiceProfile& service,
+                                            const Vocabulary& vocab,
+                                            Rng& rng) const {
+  std::string pw = generateBasePassword(vocab, rng);
+  // Sensitive services nudge users toward adding something (Fig. 4:
+  // "increase security" motivates modification).
+  if (rng.chance(service.sensitivity * 0.5)) {
+    pw = modifyPassword(pw, service, vocab, rng);
+  }
+  return pw;
+}
+
+std::string DatasetGenerator::enforcePolicy(std::string pw,
+                                            const ServiceProfile& service,
+                                            const Vocabulary& vocab,
+                                            Rng& rng) const {
+  // A small legacy fraction predates the policy (the paper notes CSDN's
+  // length >= 8 rule arrived after launch: Table X still shows ~2.2% of
+  // CSDN passwords below 8 characters).
+  const bool legacyAccount = rng.chance(0.022);
+  // Users meet a min-length rule by appending digits (survey Fig. 6:
+  // mostly at the end); they meet a max-length rule by truncating.
+  while (!legacyAccount && pw.size() < service.minLen) {
+    pw += vocab.randomDigits(
+        rng, std::max<std::size_t>(1, service.minLen - pw.size()));
+  }
+  if (pw.size() > service.maxLen) pw.resize(service.maxLen);
+  return pw;
+}
+
+SurveyModel DatasetGenerator::surveyFor(const ServiceProfile& service) const {
+  // Sensitive services see fewer verbatim reuses and more modifications
+  // (shift mass from ReuseExact to ModifyExisting, keeping the paper's
+  // 77.38% reuse-or-modify total).
+  SurveyModel survey = survey_;
+  const double shift = 0.25 * service.sensitivity * survey.reuseExact;
+  survey.reuseExact -= shift;
+  survey.modifyExisting += shift;
+  return survey;
+}
+
+std::string DatasetGenerator::proposeFor(const UserProfile& user,
+                                         const ServiceProfile& service,
+                                         const Vocabulary& vocab,
+                                         const SurveyModel& survey,
+                                         Rng& rng) const {
+  std::string pw;
+  switch (survey.sampleCreationChoice(rng)) {
+    case CreationChoice::ReuseExact: {
+      // Most-used password first (rank-weighted portfolio pick).
+      const std::size_t pick =
+          rng.chance(0.7) ? 0 : rng.below(user.portfolio.size());
+      pw = user.portfolio[pick];
+      break;
+    }
+    case CreationChoice::ModifyExisting: {
+      const std::size_t pick =
+          rng.chance(0.7) ? 0 : rng.below(user.portfolio.size());
+      pw = modifyPassword(user.portfolio[pick], service, vocab, rng);
+      break;
+    }
+    case CreationChoice::CreateNew:
+      pw = freshPassword(service, vocab, rng);
+      break;
+  }
+  return enforcePolicy(std::move(pw), service, vocab, rng);
+}
+
+Dataset DatasetGenerator::generate(const ServiceProfile& service) const {
+  Dataset ds(service.name);
+  // Service-specific deterministic stream, decorrelated across services.
+  StringHash h;
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * h(service.name)));
+  const Vocabulary vocab(service.language);
+  const std::size_t users = population_.userCount(service.language);
+  // Offset the user window per service so smaller services do not all hit
+  // the same head of the population.
+  const std::size_t offset = rng.below(users);
+  const SurveyModel survey = surveyFor(service);
+
+  for (std::size_t i = 0; i < service.accounts; ++i) {
+    const UserProfile& user =
+        population_.user(service.language, offset + i);
+    ds.add(proposeFor(user, service, vocab, survey, rng));
+  }
+  return ds;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,66 @@
+// Synthetic service-dataset generator.
+//
+// For every account of a service the generator samples the owning user
+// from the shared population, then plays out the survey behaviour model:
+// reuse a portfolio password verbatim, modify it with the survey's
+// mangling-rule mix, or compose a fresh one. Service password policies
+// (min/max length) are enforced the way users satisfy them (padding with
+// digits / picking another password), and every generated string is a
+// valid printable-ASCII password.
+//
+// Determinism: the same (population seed, generator seed, profile) always
+// produces the same dataset, so benches are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "corpus/dataset.h"
+#include "synth/behavior.h"
+#include "synth/population.h"
+#include "synth/profile.h"
+
+namespace fpsm {
+
+class DatasetGenerator {
+ public:
+  DatasetGenerator(const PopulationModel& population, SurveyModel survey,
+                   std::uint64_t seed);
+
+  /// Generates the full dataset of a service.
+  Dataset generate(const ServiceProfile& service) const;
+
+  /// One account's password proposal: plays the survey behaviour
+  /// (reuse / modify / create) for `user` at `service` and enforces the
+  /// service policy. generate() is a loop over this; the policy-defense
+  /// simulation (eval/defense.h) calls it repeatedly when a meter rejects.
+  std::string proposeFor(const UserProfile& user,
+                         const ServiceProfile& service,
+                         const Vocabulary& vocab, const SurveyModel& survey,
+                         Rng& rng) const;
+
+  /// The survey model with the sensitivity shift applied for a service
+  /// (sensitive services modify more, reuse verbatim less).
+  SurveyModel surveyFor(const ServiceProfile& service) const;
+
+  /// Applies the survey's modification behaviour to a base password
+  /// (exposed for tests and for the survey bench).
+  std::string modifyPassword(const std::string& base,
+                             const ServiceProfile& service,
+                             const Vocabulary& vocab, Rng& rng) const;
+
+ private:
+  std::string freshPassword(const ServiceProfile& service,
+                            const Vocabulary& vocab, Rng& rng) const;
+  std::string enforcePolicy(std::string pw, const ServiceProfile& service,
+                            const Vocabulary& vocab, Rng& rng) const;
+  std::string applyRule(MangleRule rule, std::string pw,
+                        const ServiceProfile& service,
+                        const Vocabulary& vocab, Rng& rng) const;
+
+  const PopulationModel& population_;
+  SurveyModel survey_;
+  std::uint64_t seed_;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,104 @@
+#include "synth/population.h"
+
+#include "util/chars.h"
+#include "util/error.h"
+#include "util/wordlists.h"
+
+namespace fpsm {
+namespace {
+
+/// Chinese recipe mix (targets Table IX / VIII: digit-heavy, ~45-64%
+/// digits-only, heads of digit idioms).
+std::string chineseBase(const Vocabulary& v, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.26) return v.digitIdiom(rng);
+  if (r < 0.42) return v.birthday(rng);
+  if (r < 0.50) return v.randomDigits(rng, 6 + rng.below(4));
+  if (r < 0.66) return v.word(rng) + v.randomDigits(rng, 2 + rng.below(4));
+  if (r < 0.72) return v.word(rng) + v.digitIdiom(rng);
+  if (r < 0.78) return v.word(rng) + v.year(rng);
+  if (r < 0.84) return v.keyboardWalk(rng);
+  if (r < 0.90) return v.popularPassword(rng);
+  if (r < 0.93) {
+    // Chinese tech-site users also pick globally popular English
+    // passwords (the paper's CSDN top-10 includes "dearbook"; its weak
+    // exemplars of Table II are English words). Skew toward the head.
+    const auto head = words::commonPasswords();
+    const std::size_t idx = std::min(rng.below(40), rng.below(40));
+    return std::string(head[idx]);
+  }
+  if (r < 0.96) return v.word(rng) + v.word(rng);
+  return v.name(rng) + v.birthday(rng);
+}
+
+/// English recipe mix (targets Table IX: letter-heavy, ~32-60% lower-only).
+std::string englishBase(const Vocabulary& v, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.14) return v.popularPassword(rng);
+  if (r < 0.34) return v.word(rng);
+  if (r < 0.50) return v.word(rng) + v.randomDigits(rng, 1 + rng.below(3));
+  if (r < 0.60) return v.name(rng) + v.randomDigits(rng, 1 + rng.below(3));
+  if (r < 0.68) return v.word(rng) + v.year(rng);
+  if (r < 0.74) return v.name(rng) + v.name(rng);
+  if (r < 0.80) return v.word(rng) + v.word(rng);
+  if (r < 0.86) return v.keyboardWalk(rng);
+  if (r < 0.93) return v.digitIdiom(rng);
+  return v.name(rng);
+}
+
+}  // namespace
+
+std::string generateBasePassword(const Vocabulary& vocab, Rng& rng) {
+  std::string pw = vocab.language() == Language::Chinese
+                       ? chineseBase(vocab, rng)
+                       : englishBase(vocab, rng);
+  // Users avoid very short passwords even without a policy; English users
+  // grab a second word, Chinese users add digits.
+  while (pw.size() < 6) {
+    if (vocab.language() == Language::English && !isDigit(pw.back())) {
+      pw += vocab.word(rng);
+    } else {
+      pw += vocab.randomDigits(rng, 2);
+    }
+  }
+  if (pw.size() > 20) pw.resize(20);
+  return pw;
+}
+
+PopulationModel::PopulationModel(std::size_t chineseUsers,
+                                 std::size_t englishUsers,
+                                 std::uint64_t seed) {
+  if (chineseUsers == 0 || englishUsers == 0) {
+    throw InvalidArgument("PopulationModel: need users in both languages");
+  }
+  Rng rng(seed);
+  const Vocabulary zh(Language::Chinese);
+  const Vocabulary en(Language::English);
+  auto build = [&](Language lang, const Vocabulary& vocab, std::size_t n,
+                   std::vector<UserProfile>& out) {
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      UserProfile u;
+      u.language = lang;
+      const std::size_t portfolioSize = 1 + rng.below(3);  // 1-3 passwords
+      for (std::size_t p = 0; p < portfolioSize; ++p) {
+        u.portfolio.push_back(generateBasePassword(vocab, rng));
+      }
+      out.push_back(std::move(u));
+    }
+  };
+  build(Language::Chinese, zh, chineseUsers, chinese_);
+  build(Language::English, en, englishUsers, english_);
+}
+
+std::size_t PopulationModel::userCount(Language lang) const {
+  return lang == Language::Chinese ? chinese_.size() : english_.size();
+}
+
+const UserProfile& PopulationModel::user(Language lang,
+                                         std::size_t index) const {
+  const auto& pool = lang == Language::Chinese ? chinese_ : english_;
+  return pool[index % pool.size()];
+}
+
+}  // namespace fpsm

@@ -1,0 +1,46 @@
+// Simulated user population with password portfolios.
+//
+// The reuse behaviour the paper's survey documents (77.38% reuse-or-modify)
+// only shows up in corpora when the *same users* appear across services and
+// carry their passwords along. This module materializes that population:
+// every user has a small portfolio of self-made base passwords; services
+// draw their account holders from the population (src/synth/generator.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/behavior.h"
+#include "synth/vocab.h"
+#include "util/rng.h"
+
+namespace fpsm {
+
+struct UserProfile {
+  Language language;
+  /// 1-3 base passwords, most-used first.
+  std::vector<std::string> portfolio;
+};
+
+/// Generates one fresh self-made password the way users of the language
+/// compose them (recipe mix tuned to reproduce the composition shares of
+/// Table IX; see synth/population.cpp for the recipes).
+std::string generateBasePassword(const Vocabulary& vocab, Rng& rng);
+
+class PopulationModel {
+ public:
+  PopulationModel(std::size_t chineseUsers, std::size_t englishUsers,
+                  std::uint64_t seed);
+
+  std::size_t userCount(Language lang) const;
+
+  /// The index-th user of the language; indexes wrap modulo the pool.
+  const UserProfile& user(Language lang, std::size_t index) const;
+
+ private:
+  std::vector<UserProfile> chinese_;
+  std::vector<UserProfile> english_;
+};
+
+}  // namespace fpsm

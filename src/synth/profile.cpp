@@ -1,0 +1,61 @@
+#include "synth/profile.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace fpsm {
+
+std::vector<ServiceProfile> ServiceProfile::paperServices(
+    double scale, std::size_t minAccounts) {
+  if (scale <= 0.0) throw InvalidArgument("paperServices: scale must be > 0");
+  struct Row {
+    const char* name;
+    Language lang;
+    std::uint64_t totalPws;  // Table VII
+    std::size_t minLen;
+    std::size_t maxLen;
+    double sensitivity;
+    const char* tag;
+  };
+  // Sensitivities follow the paper's framing: Dodonew (gaming/e-commerce)
+  // and Zhenai (dating) are sensitive; social forums are not.
+  const Row rows[] = {
+      {"Tianya", Language::Chinese, 30901241, 1, 20, 0.25, "tianya"},
+      {"Dodonew", Language::Chinese, 16258891, 6, 20, 0.80, "dodo"},
+      {"CSDN", Language::Chinese, 6428277, 8, 20, 0.55, "csdn"},
+      {"Zhenai", Language::Chinese, 5260229, 6, 20, 0.75, "zhenai"},
+      {"Weibo", Language::Chinese, 4730662, 1, 20, 0.35, "weibo"},
+      {"Rockyou", Language::English, 32581870, 1, 20, 0.25, "rockyou"},
+      {"Battlefield", Language::English, 542386, 6, 20, 0.50, "bf"},
+      {"Yahoo", Language::English, 442834, 6, 20, 0.60, "yahoo"},
+      {"Phpbb", Language::English, 255373, 1, 20, 0.45, "phpbb"},
+      {"Singles", Language::English, 16248, 1, 8, 0.30, "singles"},
+      {"Faithwriters", Language::English, 9708, 1, 20, 0.35, "faith"},
+  };
+  std::vector<ServiceProfile> out;
+  for (const Row& r : rows) {
+    ServiceProfile p;
+    p.name = r.name;
+    p.language = r.lang;
+    p.accounts = std::max<std::size_t>(
+        minAccounts,
+        static_cast<std::size_t>(static_cast<double>(r.totalPws) * scale));
+    p.minLen = r.minLen;
+    p.maxLen = r.maxLen;
+    p.sensitivity = r.sensitivity;
+    p.siteTag = r.tag;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+ServiceProfile ServiceProfile::byName(const std::string& name, double scale,
+                                      std::size_t minAccounts) {
+  for (auto& p : paperServices(scale, minAccounts)) {
+    if (p.name == name) return p;
+  }
+  throw InvalidArgument("unknown service profile: " + name);
+}
+
+}  // namespace fpsm

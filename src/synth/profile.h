@@ -1,0 +1,42 @@
+// Per-service generation profiles for the paper's 11 datasets (Table VII).
+//
+// Account counts are the paper's totals scaled down (default 1/100, small
+// lists floored so the f >= 4 head remains measurable); language, policy
+// and site tags follow the paper's descriptions (e.g. CSDN's length >= 8
+// policy, Zhenai/Battlefield's length >= 6, Singles.org's length <= 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/behavior.h"
+
+namespace fpsm {
+
+struct ServiceProfile {
+  std::string name;
+  Language language;
+  std::size_t accounts;
+  std::size_t minLen = 1;
+  std::size_t maxLen = 20;
+  /// 0 = throwaway forum, 1 = high-stakes account. Sensitive services see
+  /// more modification and fewer verbatim reuses (survey Fig. 4: "increase
+  /// security" is the top modification motive).
+  double sensitivity = 0.4;
+  /// Appended by the AddSiteInfo mangling rule (the paper's
+  /// "111222tianya" effect).
+  std::string siteTag;
+
+  /// The paper's 11 services, with accounts = paper total * scale
+  /// (floored at minAccounts).
+  static std::vector<ServiceProfile> paperServices(
+      double scale = 0.01, std::size_t minAccounts = 3000);
+
+  /// Profile by Table VII name ("CSDN", "Rockyou", ...). Throws
+  /// InvalidArgument if unknown.
+  static ServiceProfile byName(const std::string& name, double scale = 0.01,
+                               std::size_t minAccounts = 3000);
+};
+
+}  // namespace fpsm

@@ -1,0 +1,83 @@
+#include "synth/vocab.h"
+
+#include "util/wordlists.h"
+
+namespace fpsm {
+namespace {
+
+std::span<const std::string_view> popularList(Language lang) {
+  return lang == Language::Chinese ? words::chineseCommonPasswords()
+                                   : words::commonPasswords();
+}
+
+std::span<const std::string_view> digitList(Language lang) {
+  return lang == Language::Chinese ? words::chineseDigitStrings()
+                                   : words::westernDigitStrings();
+}
+
+std::span<const std::string_view> wordList(Language lang) {
+  return lang == Language::Chinese ? words::pinyinWords()
+                                   : words::englishWords();
+}
+
+std::span<const std::string_view> nameList(Language lang) {
+  return lang == Language::Chinese ? words::pinyinWords()
+                                   : words::englishNames();
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(Language lang)
+    : lang_(lang),
+      popularSampler_(popularList(lang).size(), 1.05),
+      wordSampler_(wordList(lang).size(), 0.8),
+      nameSampler_(nameList(lang).size(), 0.8),
+      walkSampler_(words::keyboardWalks().size(), 0.9),
+      digitSampler_(digitList(lang).size(), 1.05) {}
+
+std::string Vocabulary::popularPassword(Rng& rng) const {
+  return std::string(popularList(lang_)[popularSampler_(rng)]);
+}
+
+std::string Vocabulary::word(Rng& rng) const {
+  return std::string(wordList(lang_)[wordSampler_(rng)]);
+}
+
+std::string Vocabulary::name(Rng& rng) const {
+  return std::string(nameList(lang_)[nameSampler_(rng)]);
+}
+
+std::string Vocabulary::keyboardWalk(Rng& rng) const {
+  return std::string(words::keyboardWalks()[walkSampler_(rng)]);
+}
+
+std::string Vocabulary::digitIdiom(Rng& rng) const {
+  return std::string(digitList(lang_)[digitSampler_(rng)]);
+}
+
+std::string Vocabulary::randomDigits(Rng& rng, std::size_t len) const {
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('0' + rng.below(10)));
+  }
+  return out;
+}
+
+std::string Vocabulary::year(Rng& rng) const {
+  // Triangular-ish: most online users were born 1970-2005.
+  const int year = 1970 + static_cast<int>((rng.below(36) + rng.below(36)) / 2);
+  return std::to_string(year);
+}
+
+std::string Vocabulary::birthday(Rng& rng) const {
+  const std::string y = year(rng);
+  const int month = 1 + static_cast<int>(rng.below(12));
+  const int day = 1 + static_cast<int>(rng.below(28));
+  char buf[5];
+  std::snprintf(buf, sizeof(buf), "%02d%02d", month, day);
+  // Half short form (yymmdd), half long (yyyymmdd).
+  return (rng.chance(0.5) ? y.substr(2) : y) + buf;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,54 @@
+// Language-specific vocabulary samplers over the embedded word lists.
+//
+// Popularity is Zipf-shaped: rank-1 entries dominate, which is what gives
+// the generated corpora the heavy heads of Table VIII.
+#pragma once
+
+#include <string>
+
+#include "stats/zipf.h"
+#include "synth/behavior.h"
+#include "util/rng.h"
+
+namespace fpsm {
+
+class Vocabulary {
+ public:
+  explicit Vocabulary(Language lang);
+
+  Language language() const { return lang_; }
+
+  /// A globally popular password (rank-weighted over the language's head
+  /// list: digit idioms for Chinese, rockyou-style for English).
+  std::string popularPassword(Rng& rng) const;
+
+  /// A language word (pinyin name/word vs English word).
+  std::string word(Rng& rng) const;
+
+  /// A personal name in the language's romanization.
+  std::string name(Rng& rng) const;
+
+  std::string keyboardWalk(Rng& rng) const;
+
+  /// A popular digit idiom ("123456", "5201314", ...).
+  std::string digitIdiom(Rng& rng) const;
+
+  /// Uniform random digit string of the given length.
+  std::string randomDigits(Rng& rng, std::size_t len) const;
+
+  /// A birth-year-like 4-digit string, weighted toward the 1980s/90s.
+  std::string year(Rng& rng) const;
+
+  /// A birthday-like 6 or 8 digit string (yymmdd / yyyymmdd).
+  std::string birthday(Rng& rng) const;
+
+ private:
+  Language lang_;
+  ZipfSampler popularSampler_;
+  ZipfSampler wordSampler_;
+  ZipfSampler nameSampler_;
+  ZipfSampler walkSampler_;
+  ZipfSampler digitSampler_;
+};
+
+}  // namespace fpsm

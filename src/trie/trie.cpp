@@ -1,0 +1,72 @@
+#include "trie/trie.h"
+
+#include <algorithm>
+
+namespace fpsm {
+namespace {
+
+struct EdgeLess {
+  bool operator()(const char a, const char b) const { return a < b; }
+};
+
+}  // namespace
+
+std::optional<Trie::NodeId> Trie::child(NodeId node, char c) const {
+  const auto& edges = nodes_[node].edges;
+  const auto it = std::lower_bound(
+      edges.begin(), edges.end(), c,
+      [](const Edge& e, char ch) { return e.label < ch; });
+  if (it != edges.end() && it->label == c) return it->target;
+  return std::nullopt;
+}
+
+Trie::NodeId Trie::findOrAddChild(NodeId node, char c) {
+  auto& edges = nodes_[node].edges;
+  const auto it = std::lower_bound(
+      edges.begin(), edges.end(), c,
+      [](const Edge& e, char ch) { return e.label < ch; });
+  if (it != edges.end() && it->label == c) return it->target;
+  const NodeId fresh = static_cast<NodeId>(nodes_.size());
+  // Note: nodes_.emplace_back may reallocate; take the insertion position
+  // index first because `edges` reference would dangle.
+  const auto pos = it - edges.begin();
+  nodes_.emplace_back();
+  auto& edgesAfter = nodes_[node].edges;
+  edgesAfter.insert(edgesAfter.begin() + pos, Edge{c, fresh});
+  return fresh;
+}
+
+bool Trie::insert(std::string_view word) {
+  if (word.empty()) return false;
+  NodeId node = kRoot;
+  for (char c : word) node = findOrAddChild(node, c);
+  if (nodes_[node].terminal) return false;
+  nodes_[node].terminal = true;
+  ++wordCount_;
+  return true;
+}
+
+bool Trie::contains(std::string_view word) const {
+  if (word.empty()) return false;
+  NodeId node = kRoot;
+  for (char c : word) {
+    const auto next = child(node, c);
+    if (!next) return false;
+    node = *next;
+  }
+  return nodes_[node].terminal;
+}
+
+std::size_t Trie::longestPrefix(std::string_view s, std::size_t from) const {
+  NodeId node = kRoot;
+  std::size_t best = 0;
+  for (std::size_t i = from; i < s.size(); ++i) {
+    const auto next = child(node, s[i]);
+    if (!next) break;
+    node = *next;
+    if (nodes_[node].terminal) best = i - from + 1;
+  }
+  return best;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,68 @@
+// Prefix trie over printable ASCII used as the base-dictionary index of
+// fuzzyPSM (Sec. IV-C: "passwords leaked from a less sensitive service ...
+// construct a basic password parsing trie-tree").
+//
+// The trie exposes raw node traversal (child / isTerminal) so the fuzzy
+// matcher in src/core can walk it while exploring capitalization and leet
+// branches. Children are kept sorted per node and located by binary search;
+// this keeps memory proportional to the number of edges and lookups fast for
+// the small branching factors seen in password data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpsm {
+
+class Trie {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kRoot = 0;
+
+  Trie() { nodes_.emplace_back(); }
+
+  /// Inserts a word. Empty words are ignored (the root is never terminal).
+  /// Returns true if the word was newly inserted.
+  bool insert(std::string_view word);
+
+  /// True if the exact word is present.
+  bool contains(std::string_view word) const;
+
+  /// Length of the longest prefix of s that is a word in the trie starting
+  /// at offset `from`, or 0 if none. Exact-character matching only.
+  std::size_t longestPrefix(std::string_view s, std::size_t from = 0) const;
+
+  /// Child of `node` along character c, if any.
+  std::optional<NodeId> child(NodeId node, char c) const;
+
+  /// True if `node` ends a stored word.
+  bool isTerminal(NodeId node) const { return nodes_[node].terminal; }
+
+  /// Number of stored words.
+  std::size_t size() const { return wordCount_; }
+
+  /// Number of allocated trie nodes (root included).
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+  bool empty() const { return wordCount_ == 0; }
+
+ private:
+  struct Edge {
+    char label;
+    NodeId target;
+  };
+  struct Node {
+    std::vector<Edge> edges;  // sorted by label
+    bool terminal = false;
+  };
+
+  NodeId findOrAddChild(NodeId node, char c);
+
+  std::vector<Node> nodes_;
+  std::size_t wordCount_ = 0;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,63 @@
+#include "util/chars.h"
+
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+// 128-entry lookup: leet rule index + 1, or 0 for "no rule".
+constexpr std::array<std::uint8_t, 128> makeLeetIndex() {
+  std::array<std::uint8_t, 128> t{};
+  for (int i = 0; i < kNumLeetRules; ++i) {
+    const LeetRule& r = kLeetRules[static_cast<std::size_t>(i)];
+    t[static_cast<std::size_t>(r.letter)] = static_cast<std::uint8_t>(i + 1);
+    t[static_cast<std::size_t>(toUpper(r.letter))] =
+        static_cast<std::uint8_t>(i + 1);
+    t[static_cast<std::size_t>(r.sub)] = static_cast<std::uint8_t>(i + 1);
+  }
+  return t;
+}
+
+constexpr auto kLeetIndex = makeLeetIndex();
+
+}  // namespace
+
+std::string toLowerCopy(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = toLower(c);
+  return out;
+}
+
+std::optional<int> leetRuleOf(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  if (u >= 128) return std::nullopt;
+  const std::uint8_t v = kLeetIndex[u];
+  if (v == 0) return std::nullopt;
+  return v - 1;
+}
+
+std::optional<char> leetPartner(char c) {
+  const auto rule = leetRuleOf(c);
+  if (!rule) return std::nullopt;
+  const LeetRule& r = kLeetRules[static_cast<std::size_t>(*rule)];
+  return toLower(c) == r.letter ? r.sub : r.letter;
+}
+
+bool isValidPassword(std::string_view pw) noexcept {
+  if (pw.empty()) return false;
+  for (char c : pw) {
+    if (!isPrintableAscii(c)) return false;
+  }
+  return true;
+}
+
+void validatePassword(std::string_view pw) {
+  if (pw.empty()) throw InvalidArgument("password must be non-empty");
+  for (char c : pw) {
+    if (!isPrintableAscii(c)) {
+      throw InvalidArgument("password contains non-printable character");
+    }
+  }
+}
+
+}  // namespace fpsm

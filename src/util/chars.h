@@ -1,0 +1,114 @@
+// Character classification and leet tables shared by the parsers and meters.
+//
+// The paper's alphabet is the 95 printable ASCII characters, categorized into
+// lower-case letters, upper-case letters, digits and symbols (Sec. II-B).
+// The six leet rules of fuzzyPSM (Table VI) are bidirectional pairs:
+//   L1: a<->@  L2: s<->$  L3: o<->0  L4: i<->1  L5: e<->3  L6: t<->7
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fpsm {
+
+/// The four character classes of the classic PCFG model plus Other for
+/// non-printable input (rejected at the API boundary).
+enum class CharClass : std::uint8_t { Lower, Upper, Digit, Symbol, Other };
+
+constexpr bool isPrintableAscii(char c) { return c >= 0x20 && c <= 0x7e; }
+
+constexpr bool isLower(char c) { return c >= 'a' && c <= 'z'; }
+constexpr bool isUpper(char c) { return c >= 'A' && c <= 'Z'; }
+constexpr bool isDigit(char c) { return c >= '0' && c <= '9'; }
+constexpr bool isLetter(char c) { return isLower(c) || isUpper(c); }
+constexpr bool isSymbol(char c) {
+  return isPrintableAscii(c) && !isLetter(c) && !isDigit(c);
+}
+
+constexpr CharClass classOf(char c) {
+  if (isLower(c)) return CharClass::Lower;
+  if (isUpper(c)) return CharClass::Upper;
+  if (isDigit(c)) return CharClass::Digit;
+  if (isSymbol(c)) return CharClass::Symbol;
+  return CharClass::Other;
+}
+
+/// Class used by the L/D/S segmentation of the traditional PCFG model, which
+/// folds upper and lower case letters into one Letter class.
+enum class SegmentClass : std::uint8_t { Letter, Digit, Symbol };
+
+constexpr SegmentClass segmentClassOf(char c) {
+  if (isLetter(c)) return SegmentClass::Letter;
+  if (isDigit(c)) return SegmentClass::Digit;
+  return SegmentClass::Symbol;
+}
+
+/// Letter prefix used when printing base structures: L/D/S.
+constexpr char segmentClassTag(SegmentClass sc) {
+  switch (sc) {
+    case SegmentClass::Letter: return 'L';
+    case SegmentClass::Digit: return 'D';
+    case SegmentClass::Symbol: return 'S';
+  }
+  return '?';
+}
+
+constexpr char toLower(char c) {
+  return isUpper(c) ? static_cast<char>(c - 'A' + 'a') : c;
+}
+constexpr char toUpper(char c) {
+  return isLower(c) ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+/// Returns s lower-cased (ASCII only).
+std::string toLowerCopy(std::string_view s);
+
+/// Returns true if the first character is an upper-case letter.
+constexpr bool firstLetterCapitalized(std::string_view s) {
+  return !s.empty() && isUpper(s.front());
+}
+
+// ---------------------------------------------------------------------------
+// Leet rules (Table VI). Rule indices are 0-based: rule 0 is the paper's L1.
+// ---------------------------------------------------------------------------
+
+/// Number of leet rules modelled by fuzzyPSM.
+inline constexpr int kNumLeetRules = 6;
+
+struct LeetRule {
+  char letter;  ///< the letter side of the pair (e.g. 'a')
+  char sub;     ///< the substitute side (e.g. '@')
+};
+
+/// The six bidirectional pairs in the paper's order L1..L6.
+inline constexpr std::array<LeetRule, kNumLeetRules> kLeetRules = {{
+    {'a', '@'},
+    {'s', '$'},
+    {'o', '0'},
+    {'i', '1'},
+    {'e', '3'},
+    {'t', '7'},
+}};
+
+/// Index of the leet rule that character c participates in (either side of
+/// the pair), or nullopt. Case-insensitive on the letter side.
+std::optional<int> leetRuleOf(char c);
+
+/// The partner of c under its leet rule, or nullopt if c is in no rule.
+/// leetPartner('a') == '@', leetPartner('0') == 'o', leetPartner('A') == '@'.
+std::optional<char> leetPartner(char c);
+
+/// True if c takes part in any leet rule.
+inline bool isLeetChar(char c) { return leetRuleOf(c).has_value(); }
+
+/// Validates a password for use by the library: non-empty, printable ASCII.
+/// Throws InvalidArgument otherwise.
+void validatePassword(std::string_view pw);
+
+/// Non-throwing variant of validatePassword.
+bool isValidPassword(std::string_view pw) noexcept;
+
+}  // namespace fpsm

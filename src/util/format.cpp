@@ -1,0 +1,108 @@
+#include "util/format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+bool looksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != ',' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+        c != 'E' && c != 'x') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(s.front())) ||
+         s.front() == '-' || s.front() == '+' || s.front() == '.';
+}
+
+}  // namespace
+
+std::string fmtDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmtPercent(double fraction, int precision) {
+  return fmtDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string fmtCount(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  int counter = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (counter != 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw InvalidArgument("TextTable: empty header");
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw InvalidArgument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = width[c] - row[c].size();
+      if (looksNumeric(row[c])) {
+        line += std::string(pad, ' ') + row[c];
+      } else {
+        line += row[c] + std::string(pad, ' ');
+      }
+      if (c + 1 != row.size()) line += "  ";
+    }
+    // trim right
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = renderRow(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 != width.size() ? 2 : 0);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+std::string banner(std::string_view title) {
+  std::string out = "\n== ";
+  out += title;
+  out += " ==\n";
+  return out;
+}
+
+}  // namespace fpsm

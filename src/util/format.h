@@ -1,0 +1,49 @@
+// Small text-table renderer used by the bench harnesses to print the
+// paper's tables and figure series as aligned monospace output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fpsm {
+
+/// Formats a double with the given precision, e.g. fmtDouble(0.12345, 3)
+/// == "0.123".
+std::string fmtDouble(double v, int precision);
+
+/// Formats v as a percentage with two decimals: fmtPercent(0.1234) ==
+/// "12.34%".
+std::string fmtPercent(double fraction, int precision = 2);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string fmtCount(std::uint64_t v);
+
+/// Simple column-aligned text table.
+///
+///   TextTable t({"Dataset", "Total", "Unique"});
+///   t.addRow({"Tianya", "30,901,241", "12,898,437"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have exactly as many cells as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Renders with a header separator line. All columns left-aligned except
+  /// cells that parse as numbers, which are right-aligned.
+  std::string render() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a banner line for bench sections: "== title ==".
+std::string banner(std::string_view title);
+
+}  // namespace fpsm

@@ -1,0 +1,42 @@
+// Transparent string hashing so unordered containers keyed by std::string
+// can be probed with std::string_view without allocating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fpsm {
+
+/// FNV-1a based transparent hasher.
+struct StringHash {
+  using is_transparent = void;
+
+  std::size_t operator()(std::string_view s) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+  std::size_t operator()(const std::string& s) const noexcept {
+    return (*this)(std::string_view(s));
+  }
+};
+
+struct StringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+template <typename V>
+using StringMap = std::unordered_map<std::string, V, StringHash, StringEq>;
+
+using StringSet = std::unordered_set<std::string, StringHash, StringEq>;
+
+}  // namespace fpsm

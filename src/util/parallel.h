@@ -1,0 +1,61 @@
+// Minimal data-parallel helper.
+//
+// parallelFor(n, fn) invokes fn(i) for i in [0, n) across a small thread
+// pool with contiguous chunking. Used by the evaluation harness to score
+// large test sets: the meters' scoring paths are const and touch no shared
+// mutable state, so plain index partitioning is safe and scales linearly.
+//
+// Exceptions thrown by fn are captured and rethrown (first one wins) on
+// the calling thread.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fpsm {
+
+/// Number of worker threads parallelFor would use for n items.
+inline unsigned parallelWorkerCount(std::size_t n, unsigned requested = 0) {
+  unsigned hw = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  // No point spinning a thread for fewer than ~1k items of typical work.
+  const auto byWork = static_cast<unsigned>(std::max<std::size_t>(n / 1024, 1));
+  return std::min(hw, byWork);
+}
+
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, unsigned requestedThreads = 0) {
+  if (n == 0) return;
+  const unsigned workers = parallelWorkerCount(n, requestedThreads);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = static_cast<std::size_t>(w) * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace fpsm

@@ -1,0 +1,43 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace fpsm {
+
+std::size_t sampleDiscrete(Rng& rng, std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw InvalidArgument("sampleDiscrete: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw InvalidArgument("sampleDiscrete: zero total weight");
+  double x = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point slack: last positive bucket
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw InvalidArgument("DiscreteSampler: negative weight");
+    total += w;
+    cumulative_.push_back(total);
+  }
+  if (cumulative_.empty() || total <= 0.0) {
+    throw InvalidArgument("DiscreteSampler: empty or zero-weight input");
+  }
+}
+
+std::size_t DiscreteSampler::operator()(Rng& rng) const {
+  const double x = rng.uniform() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  return std::min(idx, cumulative_.size() - 1);
+}
+
+}  // namespace fpsm

@@ -1,0 +1,114 @@
+// Deterministic, fast random number generation.
+//
+// Every stochastic component in this repository (dataset synthesis, splits,
+// Monte Carlo strength estimation, model sampling) takes an explicit Rng so
+// experiments are reproducible from a seed printed in the bench output.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fpsm {
+
+/// splitmix64 — used to expand a single seed into generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0. Uses Lemire's multiply-shift method
+  /// with rejection to remove modulo bias.
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) throw InvalidArgument("Rng::below(0)");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool chance(double p) { return uniform() < p; }
+
+  /// Uniform element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw InvalidArgument("Rng::pick on empty span");
+    return items[below(items.size())];
+  }
+
+  /// Derives an independent child generator (for parallel or nested use).
+  Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Samples an index from unnormalized non-negative weights. Weights must not
+/// be all zero.
+std::size_t sampleDiscrete(Rng& rng, std::span<const double> weights);
+
+/// Alias-free cumulative sampler for repeated draws from a fixed discrete
+/// distribution. Build once, sample in O(log n).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;  // strictly increasing, last == total
+};
+
+}  // namespace fpsm

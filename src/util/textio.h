@@ -1,0 +1,70 @@
+// Line-oriented text (de)serialization helpers shared by the model
+// save/load implementations: tab-separated fields, hex escaping for
+// strings that may contain control bytes (Markov contexts embed the
+// start/end sentinels).
+#pragma once
+
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace fpsm::textio {
+
+/// Reads one line or throws IoError naming `what`.
+inline std::string expectLine(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw IoError(std::string("truncated input at ") + what);
+  }
+  return line;
+}
+
+/// Splits on tabs; always returns at least one element.
+inline std::vector<std::string> splitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+inline std::string hexEncode(std::string_view s) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    out.push_back(kDigits[u >> 4]);
+    out.push_back(kDigits[u & 0xf]);
+  }
+  return out;
+}
+
+/// Inverse of hexEncode. Throws IoError on malformed input.
+inline std::string hexDecode(std::string_view s) {
+  if (s.size() % 2 != 0) throw IoError("hexDecode: odd length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw IoError("hexDecode: bad digit");
+  };
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2) {
+    out.push_back(
+        static_cast<char>((nibble(s[i]) << 4) | nibble(s[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace fpsm::textio

@@ -1,0 +1,464 @@
+#include "util/wordlists.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace fpsm::words {
+namespace {
+
+using sv = std::string_view;
+
+// Ranked head of English-language leaks (rockyou-style, Table VIII right
+// half); rank 1 first.
+constexpr std::array kCommonPasswords = {
+    sv{"123456"},     sv{"password"},   sv{"123456789"},  sv{"12345678"},
+    sv{"111111"},     sv{"12345"},      sv{"1234567"},    sv{"123123"},
+    sv{"000000"},     sv{"iloveyou"},   sv{"qwerty"},     sv{"abc123"},
+    sv{"123321"},     sv{"baseball1"},  sv{"654321"},     sv{"1234567890"},
+    sv{"666666"},     sv{"letmein"},    sv{"princess"},   sv{"sunshine"},
+    sv{"monkey"},     sv{"888888"},     sv{"dragon"},     sv{"112233"},
+    sv{"password1"},  sv{"jordan23"},   sv{"shadow"},     sv{"michael"},
+    sv{"jesus"},      sv{"superman"},   sv{"welcome"},    sv{"777777"},
+    sv{"159753"},     sv{"michelle1"},  sv{"qazwsx"},     sv{"iloveyou1"},
+    sv{"football"},   sv{"baseball"},   sv{"master"},     sv{"999999"},
+    sv{"123qwe"},     sv{"zxcvbnm"},    sv{"asdfgh"},     sv{"hunter"},
+    sv{"soccer"},     sv{"charlie"},    sv{"batman"},     sv{"andrew"},
+    sv{"tigger"},     sv{"jordan"},     sv{"jennifer"},   sv{"killer"},
+    sv{"joshua"},     sv{"pepper"},     sv{"daniel"},     sv{"access"},
+    sv{"love"},       sv{"123123123"},  sv{"555555"},     sv{"lovely"},
+    sv{"7777777"},    sv{"babygirl"},   sv{"nicole"},     sv{"michelle"},
+    sv{"hannah"},     sv{"ashley"},     sv{"qwertyuiop"}, sv{"starwars"},
+    sv{"121212"},     sv{"flower"},     sv{"passw0rd"},   sv{"p@ssword"},
+    sv{"trustno1"},   sv{"987654321"},  sv{"88888888"},   sv{"11111111"},
+    sv{"dearbook"},   sv{"00000000"},   sv{"123654"},     sv{"7758521"},
+    sv{"520520"},     sv{"woaini"},     sv{"123456a"},    sv{"111222"},
+    sv{"samsung"},    sv{"computer"},   sv{"secret"},     sv{"freedom"},
+    sv{"whatever"},   sv{"ginger"},     sv{"summer"},     sv{"internet"},
+    sv{"matrix"},     sv{"silver"},     sv{"golden"},     sv{"cookie"},
+    sv{"jessica"},    sv{"thomas"},     sv{"anthony"},    sv{"angel"},
+    sv{"friend"},     sv{"banana"},     sv{"orange"},     sv{"purple"},
+    sv{"cheese"},     sv{"buster"},     sv{"soccer1"},    sv{"hello"},
+    sv{"liverpool"},  sv{"chelsea"},    sv{"arsenal"},    sv{"pokemon"},
+    sv{"naruto"},     sv{"sasuke"},     sv{"pikachu"},    sv{"gundam"},
+    sv{"mustang"},    sv{"corvette"},   sv{"ferrari"},    sv{"yamaha"},
+    sv{"jesus1"},     sv{"christ"},     sv{"blessed"},    sv{"john316"},
+    sv{"faith"},      sv{"grace"},      sv{"heaven"},     sv{"church"},
+    sv{"peanut"},     sv{"chicken"},    sv{"eagles"},     sv{"yankees"},
+    sv{"lakers"},     sv{"cowboys"},    sv{"ranger"},     sv{"harley"},
+    sv{"hockey"},     sv{"tennis"},     sv{"winner"},     sv{"player"},
+    sv{"junior"},     sv{"prince"},     sv{"knight"},     sv{"wizard"},
+    sv{"genius"},     sv{"maggie"},     sv{"sophie"},     sv{"chocolate"},
+    sv{"butterfly"},  sv{"rainbow"},    sv{"crystal"},    sv{"diamond"},
+    sv{"angel1"},     sv{"lovely1"},    sv{"forever"},    sv{"always"},
+    sv{"family"},     sv{"mother"},     sv{"father"},     sv{"sister"},
+    sv{"brother"},    sv{"buddy"},      sv{"lucky"},      sv{"happy"},
+    sv{"smile"},      sv{"peace"},      sv{"music"},      sv{"guitar"},
+    sv{"dancer"},     sv{"singer"},     sv{"artist"},     sv{"writer"},
+    sv{"jesuschrist"},sv{"faithwriters"},sv{"battlefield"},sv{"rockyou"},
+    sv{"ninja"},      sv{"phpbb"},      sv{"blink182"},   sv{"1qaz2wsx"},
+    sv{"michael1"},   sv{"jessica1"},   sv{"147258"},     sv{"123456789a"},
+    sv{"babygirl1"},  sv{"1234qwer"},   sv{"iloveu"},     sv{"loveme"},
+    sv{"hottie"},     sv{"teamo"},      sv{"asd123"},     sv{"fuckyou"},
+};
+
+// Ranked head of Chinese-language leaks (tianya/dodonew/csdn style, Table
+// VIII left half); rank 1 first.
+constexpr std::array kChineseCommonPasswords = {
+    sv{"123456"},       sv{"111111"},       sv{"000000"},
+    sv{"123456789"},    sv{"123123"},       sv{"123321"},
+    sv{"5201314"},      sv{"12345678"},     sv{"666666"},
+    sv{"111222tianya"}, sv{"a123456"},      sv{"dearbook"},
+    sv{"00000000"},     sv{"123123123"},    sv{"1234567890"},
+    sv{"88888888"},     sv{"111111111"},    sv{"147258369"},
+    sv{"987654321"},    sv{"88888888"},     sv{"5845201314"},
+    sv{"woaini"},       sv{"woaini1314"},   sv{"1314520"},
+    sv{"520520"},       sv{"a321654"},      sv{"123456a"},
+    sv{"qq123456"},     sv{"taobao"},       sv{"wang1234"},
+    sv{"asd123"},       sv{"aa123456"},     sv{"112233445566"},
+    sv{"7758521"},      sv{"123654"},       sv{"5211314"},
+    sv{"qwerty"},       sv{"1qaz2wsx"},     sv{"123qwe"},
+    sv{"iloveyou"},     sv{"password"},     sv{"zhang123"},
+    sv{"wangyut2"},     sv{"12345678910"},  sv{"woailaopo"},
+    sv{"qq123456789"},  sv{"caonima"},      sv{"zxcvbnm"},
+    sv{"woaini520"},    sv{"woaiwojia"},
+};
+
+// Frequency-ordered common English words (head of a standard frequency
+// list, filtered to 3..10 letters; used for dictionary matching and for
+// composing synthetic English base passwords).
+constexpr std::array kEnglishWords = {
+    sv{"the"},      sv{"and"},      sv{"you"},      sv{"that"},
+    sv{"was"},      sv{"for"},      sv{"are"},      sv{"with"},
+    sv{"his"},      sv{"they"},     sv{"this"},     sv{"have"},
+    sv{"from"},     sv{"one"},      sv{"had"},      sv{"word"},
+    sv{"but"},      sv{"not"},      sv{"what"},     sv{"all"},
+    sv{"were"},     sv{"when"},     sv{"your"},     sv{"can"},
+    sv{"said"},     sv{"there"},    sv{"use"},      sv{"each"},
+    sv{"which"},    sv{"she"},      sv{"how"},      sv{"their"},
+    sv{"will"},     sv{"other"},    sv{"about"},    sv{"out"},
+    sv{"many"},     sv{"then"},     sv{"them"},     sv{"these"},
+    sv{"some"},     sv{"her"},      sv{"would"},    sv{"make"},
+    sv{"like"},     sv{"him"},      sv{"into"},     sv{"time"},
+    sv{"has"},      sv{"look"},     sv{"two"},      sv{"more"},
+    sv{"write"},    sv{"see"},      sv{"number"},   sv{"way"},
+    sv{"could"},    sv{"people"},   sv{"than"},     sv{"first"},
+    sv{"water"},    sv{"been"},     sv{"call"},     sv{"who"},
+    sv{"oil"},      sv{"its"},      sv{"now"},      sv{"find"},
+    sv{"long"},     sv{"down"},     sv{"day"},      sv{"did"},
+    sv{"get"},      sv{"come"},     sv{"made"},     sv{"may"},
+    sv{"part"},     sv{"over"},     sv{"new"},      sv{"sound"},
+    sv{"take"},     sv{"only"},     sv{"little"},   sv{"work"},
+    sv{"know"},     sv{"place"},    sv{"year"},     sv{"live"},
+    sv{"back"},     sv{"give"},     sv{"most"},     sv{"very"},
+    sv{"after"},    sv{"thing"},    sv{"our"},      sv{"just"},
+    sv{"name"},     sv{"good"},     sv{"sentence"}, sv{"man"},
+    sv{"think"},    sv{"say"},      sv{"great"},    sv{"where"},
+    sv{"help"},     sv{"through"},  sv{"much"},     sv{"before"},
+    sv{"line"},     sv{"right"},    sv{"too"},      sv{"mean"},
+    sv{"old"},      sv{"any"},      sv{"same"},     sv{"tell"},
+    sv{"boy"},      sv{"follow"},   sv{"came"},     sv{"want"},
+    sv{"show"},     sv{"also"},     sv{"around"},   sv{"form"},
+    sv{"three"},    sv{"small"},    sv{"set"},      sv{"put"},
+    sv{"end"},      sv{"does"},     sv{"another"},  sv{"well"},
+    sv{"large"},    sv{"must"},     sv{"big"},      sv{"even"},
+    sv{"such"},     sv{"because"},  sv{"turn"},     sv{"here"},
+    sv{"why"},      sv{"ask"},      sv{"went"},     sv{"men"},
+    sv{"read"},     sv{"need"},     sv{"land"},     sv{"different"},
+    sv{"home"},     sv{"move"},     sv{"try"},      sv{"kind"},
+    sv{"hand"},     sv{"picture"},  sv{"again"},    sv{"change"},
+    sv{"off"},      sv{"play"},     sv{"spell"},    sv{"air"},
+    sv{"away"},     sv{"animal"},   sv{"house"},    sv{"point"},
+    sv{"page"},     sv{"letter"},   sv{"mother"},   sv{"answer"},
+    sv{"found"},    sv{"study"},    sv{"still"},    sv{"learn"},
+    sv{"should"},   sv{"america"},  sv{"world"},    sv{"high"},
+    sv{"every"},    sv{"near"},     sv{"add"},      sv{"food"},
+    sv{"between"},  sv{"own"},      sv{"below"},    sv{"country"},
+    sv{"plant"},    sv{"last"},     sv{"school"},   sv{"father"},
+    sv{"keep"},     sv{"tree"},     sv{"never"},    sv{"start"},
+    sv{"city"},     sv{"earth"},    sv{"eye"},      sv{"light"},
+    sv{"thought"},  sv{"head"},     sv{"under"},    sv{"story"},
+    sv{"saw"},      sv{"left"},     sv{"dont"},     sv{"few"},
+    sv{"while"},    sv{"along"},    sv{"might"},    sv{"close"},
+    sv{"something"},sv{"seem"},     sv{"next"},     sv{"hard"},
+    sv{"open"},     sv{"example"},  sv{"begin"},    sv{"life"},
+    sv{"always"},   sv{"those"},    sv{"both"},     sv{"paper"},
+    sv{"together"}, sv{"got"},      sv{"group"},    sv{"often"},
+    sv{"run"},      sv{"important"},sv{"until"},    sv{"children"},
+    sv{"side"},     sv{"feet"},     sv{"car"},      sv{"mile"},
+    sv{"night"},    sv{"walk"},     sv{"white"},    sv{"sea"},
+    sv{"began"},    sv{"grow"},     sv{"took"},     sv{"river"},
+    sv{"four"},     sv{"carry"},    sv{"state"},    sv{"once"},
+    sv{"book"},     sv{"hear"},     sv{"stop"},     sv{"without"},
+    sv{"second"},   sv{"later"},    sv{"miss"},     sv{"idea"},
+    sv{"enough"},   sv{"eat"},      sv{"face"},     sv{"watch"},
+    sv{"far"},      sv{"indian"},   sv{"really"},   sv{"almost"},
+    sv{"let"},      sv{"above"},    sv{"girl"},     sv{"sometimes"},
+    sv{"mountain"}, sv{"cut"},      sv{"young"},    sv{"talk"},
+    sv{"soon"},     sv{"list"},     sv{"song"},     sv{"being"},
+    sv{"leave"},    sv{"family"},   sv{"music"},    sv{"color"},
+    sv{"red"},      sv{"friend"},   sv{"pretty"},   sv{"usually"},
+    sv{"love"},     sv{"baby"},     sv{"angel"},    sv{"heart"},
+    sv{"sweet"},    sv{"happy"},    sv{"summer"},   sv{"winter"},
+    sv{"spring"},   sv{"autumn"},   sv{"flower"},   sv{"shadow"},
+    sv{"dragon"},   sv{"tiger"},    sv{"monkey"},   sv{"eagle"},
+    sv{"wolf"},     sv{"bear"},     sv{"lion"},     sv{"horse"},
+    sv{"money"},    sv{"power"},    sv{"magic"},    sv{"dream"},
+    sv{"star"},     sv{"moon"},     sv{"sun"},      sv{"sky"},
+    sv{"fire"},     sv{"rain"},     sv{"snow"},     sv{"wind"},
+    sv{"stone"},    sv{"silver"},   sv{"golden"},   sv{"green"},
+    sv{"black"},    sv{"blue"},     sv{"pink"},     sv{"purple"},
+    sv{"orange"},   sv{"yellow"},   sv{"brown"},    sv{"soccer"},
+    sv{"football"}, sv{"baseball"}, sv{"basket"},   sv{"hockey"},
+    sv{"tennis"},   sv{"runner"},   sv{"dancer"},   sv{"singer"},
+    sv{"master"},   sv{"hunter"},   sv{"killer"},   sv{"winner"},
+    sv{"player"},   sv{"gamer"},    sv{"hacker"},   sv{"ninja"},
+    sv{"knight"},   sv{"prince"},   sv{"queen"},    sv{"king"},
+    sv{"wizard"},   sv{"devil"},    sv{"ghost"},    sv{"zombie"},
+    sv{"secret"},   sv{"hidden"},   sv{"freedom"},  sv{"justice"},
+    sv{"honor"},    sv{"glory"},    sv{"legend"},   sv{"hero"},
+    sv{"super"},    sv{"mega"},     sv{"ultra"},    sv{"turbo"},
+    sv{"cookie"},   sv{"candy"},    sv{"sugar"},    sv{"honey"},
+    sv{"banana"},   sv{"apple"},    sv{"cherry"},   sv{"peach"},
+    sv{"lemon"},    sv{"mango"},    sv{"grape"},    sv{"melon"},
+    sv{"coffee"},   sv{"pizza"},    sv{"cheese"},   sv{"butter"},
+    sv{"pepper"},   sv{"peanut"},   sv{"chicken"},  sv{"turkey"},
+    sv{"guitar"},   sv{"piano"},    sv{"violin"},   sv{"drums"},
+    sv{"doctor"},   sv{"nurse"},    sv{"teacher"},  sv{"student"},
+    sv{"police"},   sv{"soldier"},  sv{"pilot"},    sv{"sailor"},
+    sv{"church"},   sv{"temple"},   sv{"heaven"},   sv{"spirit"},
+    sv{"faith"},    sv{"grace"},    sv{"blessed"},  sv{"trinity"},
+    sv{"jesus"},    sv{"christ"},   sv{"bible"},    sv{"gospel"},
+    sv{"genesis"},  sv{"exodus"},   sv{"psalm"},    sv{"prayer"},
+    sv{"computer"}, sv{"internet"}, sv{"network"},  sv{"system"},
+    sv{"windows"},  sv{"linux"},    sv{"google"},   sv{"yahoo"},
+    sv{"admin"},    sv{"root"},     sv{"user"},     sv{"guest"},
+    sv{"test"},     sv{"demo"},     sv{"sample"},   sv{"default"},
+    sv{"matrix"},   sv{"neo"},      sv{"trinity1"}, sv{"morpheus"},
+    sv{"batman"},   sv{"superman"}, sv{"spider"},   sv{"ironman"},
+    sv{"pokemon"},  sv{"pikachu"},  sv{"naruto"},   sv{"sasuke"},
+    sv{"goku"},     sv{"vegeta"},   sv{"zelda"},    sv{"mario"},
+    sv{"sonic"},    sv{"kirby"},    sv{"yoshi"},    sv{"luigi"},
+    sv{"mustang"},  sv{"camaro"},   sv{"ferrari"},  sv{"porsche"},
+    sv{"toyota"},   sv{"honda"},    sv{"yamaha"},   sv{"suzuki"},
+    sv{"chelsea"},  sv{"arsenal"},  sv{"united"},   sv{"rangers"},
+    sv{"yankees"},  sv{"lakers"},   sv{"cowboys"},  sv{"eagles"},
+    sv{"steelers"}, sv{"packers"},  sv{"bulls"},    sv{"celtics"},
+    sv{"butterfly"},sv{"rainbow"},  sv{"crystal"},  sv{"diamond"},
+    sv{"emerald"},  sv{"sapphire"}, sv{"pearl"},    sv{"amber"},
+    sv{"forever"},  sv{"together1"},sv{"whatever"}, sv{"nothing"},
+    sv{"anything"}, sv{"everything"},sv{"someone"}, sv{"welcome"},
+    sv{"hello"},    sv{"goodbye"},  sv{"sunshine"}, sv{"starlight"},
+    sv{"moonlight"},sv{"daylight"}, sv{"midnight"}, sv{"twilight"},
+};
+
+constexpr std::array kEnglishNames = {
+    sv{"james"},    sv{"john"},     sv{"robert"},   sv{"michael"},
+    sv{"william"},  sv{"david"},    sv{"richard"},  sv{"joseph"},
+    sv{"thomas"},   sv{"charles"},  sv{"daniel"},   sv{"matthew"},
+    sv{"anthony"},  sv{"donald"},   sv{"mark"},     sv{"paul"},
+    sv{"steven"},   sv{"andrew"},   sv{"kenneth"},  sv{"joshua"},
+    sv{"kevin"},    sv{"brian"},    sv{"george"},   sv{"edward"},
+    sv{"ronald"},   sv{"timothy"},  sv{"jason"},    sv{"jeffrey"},
+    sv{"ryan"},     sv{"jacob"},    sv{"gary"},     sv{"nicholas"},
+    sv{"eric"},     sv{"jonathan"}, sv{"stephen"},  sv{"larry"},
+    sv{"justin"},   sv{"scott"},    sv{"brandon"},  sv{"benjamin"},
+    sv{"samuel"},   sv{"frank"},    sv{"gregory"},  sv{"raymond"},
+    sv{"alexander"},sv{"patrick"},  sv{"jack"},     sv{"dennis"},
+    sv{"jerry"},    sv{"tyler"},    sv{"aaron"},    sv{"jose"},
+    sv{"mary"},     sv{"patricia"}, sv{"jennifer"}, sv{"linda"},
+    sv{"elizabeth"},sv{"barbara"},  sv{"susan"},    sv{"jessica"},
+    sv{"sarah"},    sv{"karen"},    sv{"nancy"},    sv{"lisa"},
+    sv{"margaret"}, sv{"betty"},    sv{"sandra"},   sv{"ashley"},
+    sv{"dorothy"},  sv{"kimberly"}, sv{"emily"},    sv{"donna"},
+    sv{"michelle"}, sv{"carol"},    sv{"amanda"},   sv{"melissa"},
+    sv{"deborah"},  sv{"stephanie"},sv{"rebecca"},  sv{"laura"},
+    sv{"sharon"},   sv{"cynthia"},  sv{"kathleen"}, sv{"amy"},
+    sv{"shirley"},  sv{"angela"},   sv{"helen"},    sv{"anna"},
+    sv{"brenda"},   sv{"pamela"},   sv{"nicole"},   sv{"samantha"},
+    sv{"katherine"},sv{"emma"},     sv{"ruth"},     sv{"christine"},
+    sv{"catherine"},sv{"debra"},    sv{"rachel"},   sv{"carolyn"},
+    sv{"janet"},    sv{"virginia"}, sv{"maria"},    sv{"heather"},
+    sv{"diane"},    sv{"julie"},    sv{"joyce"},    sv{"victoria"},
+    sv{"olivia"},   sv{"kelly"},    sv{"christina"},sv{"lauren"},
+    sv{"joan"},     sv{"evelyn"},   sv{"judith"},   sv{"megan"},
+    sv{"cheryl"},   sv{"andrea"},   sv{"hannah"},   sv{"martha"},
+    sv{"jacqueline"},sv{"frances"}, sv{"gloria"},   sv{"ann"},
+    sv{"teresa"},   sv{"kathryn"},  sv{"sara"},     sv{"janice"},
+    sv{"jean"},     sv{"alice"},    sv{"madison"},  sv{"doris"},
+    sv{"abigail"},  sv{"julia"},    sv{"judy"},     sv{"grace"},
+    sv{"denise"},   sv{"amber"},    sv{"marilyn"},  sv{"beverly"},
+    sv{"danielle"}, sv{"theresa"},  sv{"sophia"},   sv{"marie"},
+    sv{"diana"},    sv{"brittany"}, sv{"natalie"},  sv{"isabella"},
+    sv{"charlotte"},sv{"rose"},     sv{"alexis"},   sv{"kayla"},
+};
+
+// Mandarin pinyin syllable inventory (without tones). This is the standard
+// table; a few very rare syllables are omitted without consequence for the
+// generator.
+constexpr std::array kPinyinSyllables = {
+    sv{"a"},    sv{"ai"},   sv{"an"},   sv{"ang"},  sv{"ao"},
+    sv{"ba"},   sv{"bai"},  sv{"ban"},  sv{"bang"}, sv{"bao"},
+    sv{"bei"},  sv{"ben"},  sv{"beng"}, sv{"bi"},   sv{"bian"},
+    sv{"biao"}, sv{"bie"},  sv{"bin"},  sv{"bing"}, sv{"bo"},
+    sv{"bu"},   sv{"ca"},   sv{"cai"},  sv{"can"},  sv{"cang"},
+    sv{"cao"},  sv{"ce"},   sv{"cen"},  sv{"ceng"}, sv{"cha"},
+    sv{"chai"}, sv{"chan"}, sv{"chang"},sv{"chao"}, sv{"che"},
+    sv{"chen"}, sv{"cheng"},sv{"chi"},  sv{"chong"},sv{"chou"},
+    sv{"chu"},  sv{"chuai"},sv{"chuan"},sv{"chuang"},sv{"chui"},
+    sv{"chun"}, sv{"chuo"}, sv{"ci"},   sv{"cong"}, sv{"cou"},
+    sv{"cu"},   sv{"cuan"}, sv{"cui"},  sv{"cun"},  sv{"cuo"},
+    sv{"da"},   sv{"dai"},  sv{"dan"},  sv{"dang"}, sv{"dao"},
+    sv{"de"},   sv{"dei"},  sv{"deng"}, sv{"di"},   sv{"dian"},
+    sv{"diao"}, sv{"die"},  sv{"ding"}, sv{"diu"},  sv{"dong"},
+    sv{"dou"},  sv{"du"},   sv{"duan"}, sv{"dui"},  sv{"dun"},
+    sv{"duo"},  sv{"e"},    sv{"ei"},   sv{"en"},   sv{"er"},
+    sv{"fa"},   sv{"fan"},  sv{"fang"}, sv{"fei"},  sv{"fen"},
+    sv{"feng"}, sv{"fo"},   sv{"fou"},  sv{"fu"},   sv{"ga"},
+    sv{"gai"},  sv{"gan"},  sv{"gang"}, sv{"gao"},  sv{"ge"},
+    sv{"gei"},  sv{"gen"},  sv{"geng"}, sv{"gong"}, sv{"gou"},
+    sv{"gu"},   sv{"gua"},  sv{"guai"}, sv{"guan"}, sv{"guang"},
+    sv{"gui"},  sv{"gun"},  sv{"guo"},  sv{"ha"},   sv{"hai"},
+    sv{"han"},  sv{"hang"}, sv{"hao"},  sv{"he"},   sv{"hei"},
+    sv{"hen"},  sv{"heng"}, sv{"hong"}, sv{"hou"},  sv{"hu"},
+    sv{"hua"},  sv{"huai"}, sv{"huan"}, sv{"huang"},sv{"hui"},
+    sv{"hun"},  sv{"huo"},  sv{"ji"},   sv{"jia"},  sv{"jian"},
+    sv{"jiang"},sv{"jiao"}, sv{"jie"},  sv{"jin"},  sv{"jing"},
+    sv{"jiong"},sv{"jiu"},  sv{"ju"},   sv{"juan"}, sv{"jue"},
+    sv{"jun"},  sv{"ka"},   sv{"kai"},  sv{"kan"},  sv{"kang"},
+    sv{"kao"},  sv{"ke"},   sv{"ken"},  sv{"keng"}, sv{"kong"},
+    sv{"kou"},  sv{"ku"},   sv{"kua"},  sv{"kuai"}, sv{"kuan"},
+    sv{"kuang"},sv{"kui"},  sv{"kun"},  sv{"kuo"},  sv{"la"},
+    sv{"lai"},  sv{"lan"},  sv{"lang"}, sv{"lao"},  sv{"le"},
+    sv{"lei"},  sv{"leng"}, sv{"li"},   sv{"lia"},  sv{"lian"},
+    sv{"liang"},sv{"liao"}, sv{"lie"},  sv{"lin"},  sv{"ling"},
+    sv{"liu"},  sv{"long"}, sv{"lou"},  sv{"lu"},   sv{"luan"},
+    sv{"lue"},  sv{"lun"},  sv{"luo"},  sv{"lv"},   sv{"ma"},
+    sv{"mai"},  sv{"man"},  sv{"mang"}, sv{"mao"},  sv{"me"},
+    sv{"mei"},  sv{"men"},  sv{"meng"}, sv{"mi"},   sv{"mian"},
+    sv{"miao"}, sv{"mie"},  sv{"min"},  sv{"ming"}, sv{"miu"},
+    sv{"mo"},   sv{"mou"},  sv{"mu"},   sv{"na"},   sv{"nai"},
+    sv{"nan"},  sv{"nang"}, sv{"nao"},  sv{"ne"},   sv{"nei"},
+    sv{"nen"},  sv{"neng"}, sv{"ni"},   sv{"nian"}, sv{"niang"},
+    sv{"niao"}, sv{"nie"},  sv{"nin"},  sv{"ning"}, sv{"niu"},
+    sv{"nong"}, sv{"nu"},   sv{"nuan"}, sv{"nuo"},  sv{"nv"},
+    sv{"ou"},   sv{"pa"},   sv{"pai"},  sv{"pan"},  sv{"pang"},
+    sv{"pao"},  sv{"pei"},  sv{"pen"},  sv{"peng"}, sv{"pi"},
+    sv{"pian"}, sv{"piao"}, sv{"pie"},  sv{"pin"},  sv{"ping"},
+    sv{"po"},   sv{"pou"},  sv{"pu"},   sv{"qi"},   sv{"qia"},
+    sv{"qian"}, sv{"qiang"},sv{"qiao"}, sv{"qie"},  sv{"qin"},
+    sv{"qing"}, sv{"qiong"},sv{"qiu"},  sv{"qu"},   sv{"quan"},
+    sv{"que"},  sv{"qun"},  sv{"ran"},  sv{"rang"}, sv{"rao"},
+    sv{"re"},   sv{"ren"},  sv{"reng"}, sv{"ri"},   sv{"rong"},
+    sv{"rou"},  sv{"ru"},   sv{"ruan"}, sv{"rui"},  sv{"run"},
+    sv{"ruo"},  sv{"sa"},   sv{"sai"},  sv{"san"},  sv{"sang"},
+    sv{"sao"},  sv{"se"},   sv{"sen"},  sv{"seng"}, sv{"sha"},
+    sv{"shai"}, sv{"shan"}, sv{"shang"},sv{"shao"}, sv{"she"},
+    sv{"shen"}, sv{"sheng"},sv{"shi"},  sv{"shou"}, sv{"shu"},
+    sv{"shua"}, sv{"shuai"},sv{"shuan"},sv{"shuang"},sv{"shui"},
+    sv{"shun"}, sv{"shuo"}, sv{"si"},   sv{"song"}, sv{"sou"},
+    sv{"su"},   sv{"suan"}, sv{"sui"},  sv{"sun"},  sv{"suo"},
+    sv{"ta"},   sv{"tai"},  sv{"tan"},  sv{"tang"}, sv{"tao"},
+    sv{"te"},   sv{"teng"}, sv{"ti"},   sv{"tian"}, sv{"tiao"},
+    sv{"tie"},  sv{"ting"}, sv{"tong"}, sv{"tou"},  sv{"tu"},
+    sv{"tuan"}, sv{"tui"},  sv{"tun"},  sv{"tuo"},  sv{"wa"},
+    sv{"wai"},  sv{"wan"},  sv{"wang"}, sv{"wei"},  sv{"wen"},
+    sv{"weng"}, sv{"wo"},   sv{"wu"},   sv{"xi"},   sv{"xia"},
+    sv{"xian"}, sv{"xiang"},sv{"xiao"}, sv{"xie"},  sv{"xin"},
+    sv{"xing"}, sv{"xiong"},sv{"xiu"},  sv{"xu"},   sv{"xuan"},
+    sv{"xue"},  sv{"xun"},  sv{"ya"},   sv{"yan"},  sv{"yang"},
+    sv{"yao"},  sv{"ye"},   sv{"yi"},   sv{"yin"},  sv{"ying"},
+    sv{"yo"},   sv{"yong"}, sv{"you"},  sv{"yu"},   sv{"yuan"},
+    sv{"yue"},  sv{"yun"},  sv{"za"},   sv{"zai"},  sv{"zan"},
+    sv{"zang"}, sv{"zao"},  sv{"ze"},   sv{"zei"},  sv{"zen"},
+    sv{"zeng"}, sv{"zha"},  sv{"zhai"}, sv{"zhan"}, sv{"zhang"},
+    sv{"zhao"}, sv{"zhe"},  sv{"zhen"}, sv{"zheng"},sv{"zhi"},
+    sv{"zhong"},sv{"zhou"}, sv{"zhu"},  sv{"zhua"}, sv{"zhuan"},
+    sv{"zhuang"},sv{"zhui"},sv{"zhun"}, sv{"zhuo"}, sv{"zi"},
+    sv{"zong"}, sv{"zou"},  sv{"zu"},   sv{"zuan"}, sv{"zui"},
+    sv{"zun"},  sv{"zuo"},
+};
+
+// Frequent full pinyin strings: common surnames+given names and common
+// romanized phrases seen in Chinese password leaks ("woaini" = I love you).
+constexpr std::array kPinyinWords = {
+    sv{"woaini"},    sv{"wang"},      sv{"zhang"},     sv{"liu"},
+    sv{"chen"},      sv{"yang"},      sv{"huang"},     sv{"zhao"},
+    sv{"zhou"},      sv{"wu"},        sv{"xu"},        sv{"sun"},
+    sv{"zhu"},       sv{"ma"},        sv{"hu"},        sv{"guo"},
+    sv{"lin"},       sv{"he"},        sv{"gao"},       sv{"liang"},
+    sv{"zheng"},     sv{"luo"},       sv{"song"},      sv{"xie"},
+    sv{"tang"},      sv{"han"},       sv{"cao"},       sv{"deng"},
+    sv{"xiao"},      sv{"feng"},      sv{"zeng"},      sv{"cheng"},
+    sv{"zhangwei"},  sv{"wangwei"},   sv{"wangfang"},  sv{"liwei"},
+    sv{"wangxiuying"},sv{"lixiuying"},sv{"zhangmin"},  sv{"liena"},
+    sv{"zhangli"},   sv{"wangjing"},  sv{"wanglei"},   sv{"lijun"},
+    sv{"zhangyong"}, sv{"wangyan"},   sv{"zhangjie"},  sv{"lijie"},
+    sv{"zhanglei"},  sv{"wangqiang"}, sv{"liming"},    sv{"wangmin"},
+    sv{"lilei"},     sv{"liuyang"},   sv{"wangpeng"},  sv{"zhangpeng"},
+    sv{"chenjing"},  sv{"liuwei"},    sv{"yangyang"},  sv{"haha"},
+    sv{"hehe"},      sv{"nihao"},     sv{"woaini1314"},sv{"aini"},
+    sv{"wohenni"},   sv{"baobei"},    sv{"laopo"},     sv{"laogong"},
+    sv{"xiaoxiao"},  sv{"tiantian"},  sv{"mingming"},  sv{"dongdong"},
+    sv{"beibei"},    sv{"feifei"},    sv{"lele"},      sv{"xinxin"},
+    sv{"yuanyuan"},  sv{"niuniu"},    sv{"qianqian"},  sv{"lingling"},
+    sv{"huihui"},    sv{"jingjing"},  sv{"yangguang"}, sv{"xingfu"},
+    sv{"kuaile"},    sv{"pengyou"},   sv{"airen"},     sv{"qinai"},
+    sv{"baobao"},    sv{"gege"},      sv{"meimei"},    sv{"didi"},
+    sv{"jiejie"},    sv{"mama"},      sv{"baba"},      sv{"jiayou"},
+    sv{"zhongguo"},  sv{"beijing"},   sv{"shanghai"},  sv{"tianjin"},
+    sv{"chongqing"}, sv{"guangzhou"}, sv{"shenzhen"},  sv{"nanjing"},
+    sv{"hangzhou"},  sv{"chengdu"},   sv{"wuhan"},     sv{"xian"},
+    sv{"changsha"},  sv{"shenyang"},  sv{"haerbin"},   sv{"dalian"},
+    sv{"qingdao"},   sv{"jinan"},     sv{"zhengzhou"}, sv{"kunming"},
+    sv{"tianya"},    sv{"dodonew"},   sv{"zhenai"},    sv{"weibo"},
+};
+
+constexpr std::array kKeyboardWalks = {
+    sv{"qwerty"},      sv{"qwertyuiop"},  sv{"asdfgh"},      sv{"asdfghjkl"},
+    sv{"zxcvbn"},      sv{"zxcvbnm"},     sv{"qazwsx"},      sv{"qazwsxedc"},
+    sv{"1qaz2wsx"},    sv{"1q2w3e"},      sv{"1q2w3e4r"},    sv{"1q2w3e4r5t"},
+    sv{"123qwe"},      sv{"qwe123"},      sv{"asd123"},      sv{"123asd"},
+    sv{"qweasd"},      sv{"qweasdzxc"},   sv{"asdqwe"},      sv{"zxc123"},
+    sv{"123zxc"},      sv{"qwer1234"},    sv{"1234qwer"},    sv{"wasd"},
+    sv{"poiuyt"},      sv{"lkjhgf"},      sv{"mnbvcx"},      sv{"qwert"},
+    sv{"asdfg"},       sv{"zxcvb"},       sv{"yuiop"},       sv{"hjkl"},
+    sv{"uiop"},        sv{"rewq"},        sv{"fdsa"},        sv{"vcxz"},
+    sv{"2wsx3edc"},    sv{"zaq12wsx"},    sv{"xsw2"},        sv{"cde3"},
+    sv{"qaz123"},      sv{"wsx123"},      sv{"edcrfv"},      sv{"tgbyhn"},
+    sv{"q1w2e3"},      sv{"q1w2e3r4"},    sv{"a1s2d3"},      sv{"z1x2c3"},
+};
+
+// Digit idioms of Western users.
+constexpr std::array kWesternDigitStrings = {
+    sv{"123456"},     sv{"123456789"},  sv{"111111"},     sv{"12345678"},
+    sv{"12345"},      sv{"1234567"},    sv{"000000"},     sv{"123123"},
+    sv{"654321"},     sv{"1234567890"}, sv{"123321"},     sv{"666666"},
+    sv{"112233"},     sv{"777777"},     sv{"987654321"},  sv{"121212"},
+    sv{"555555"},     sv{"999999"},     sv{"696969"},     sv{"222222"},
+    sv{"11111111"},   sv{"131313"},     sv{"101010"},     sv{"456789"},
+    sv{"159753"},     sv{"888888"},     sv{"333333"},     sv{"7777777"},
+    sv{"0123456789"}, sv{"12341234"},
+};
+
+// Digit idioms of Chinese users: love numbers ("5201314" sounds like
+// "I love you forever and ever"), lucky digits, keypad patterns.
+constexpr std::array kChineseDigitStrings = {
+    sv{"123456"},     sv{"111111"},     sv{"000000"},     sv{"123456789"},
+    sv{"123123"},     sv{"123321"},     sv{"5201314"},    sv{"12345678"},
+    sv{"666666"},     sv{"111222"},     sv{"888888"},     sv{"1314520"},
+    sv{"520520"},     sv{"521521"},     sv{"1314521"},    sv{"7758521"},
+    sv{"147258369"},  sv{"147258"},     sv{"789456"},     sv{"321321"},
+    sv{"5845201314"}, sv{"1111111"},    sv{"88888888"},   sv{"00000000"},
+    sv{"77777777"},   sv{"99999999"},   sv{"123123123"},  sv{"111111111"},
+    sv{"1234567890"}, sv{"654321"},     sv{"456123"},     sv{"123654"},
+    sv{"321654"},     sv{"654123"},     sv{"963852"},     sv{"951753"},
+    sv{"741852"},     sv{"852963"},     sv{"159357"},     sv{"212121"},
+    sv{"232323"},     sv{"787878"},     sv{"8888888"},    sv{"123000"},
+    sv{"201314"},     sv{"5211314"},    sv{"1230123"},    sv{"112233"},
+};
+
+/// Union of the two digit lists (deduplicated, western order first) for
+/// meters that only need a dictionary.
+const std::vector<std::string_view>& digitStringsUnion() {
+  static const std::vector<std::string_view> merged = [] {
+    std::vector<std::string_view> out;
+    for (const auto list : {std::span<const sv>(kWesternDigitStrings),
+                            std::span<const sv>(kChineseDigitStrings)}) {
+      for (const auto w : list) {
+        if (std::find(out.begin(), out.end(), w) == out.end()) {
+          out.push_back(w);
+        }
+      }
+    }
+    return out;
+  }();
+  return merged;
+}
+
+}  // namespace
+
+std::span<const std::string_view> commonPasswords() {
+  return kCommonPasswords;
+}
+std::span<const std::string_view> chineseCommonPasswords() {
+  return kChineseCommonPasswords;
+}
+std::span<const std::string_view> englishWords() { return kEnglishWords; }
+std::span<const std::string_view> englishNames() { return kEnglishNames; }
+std::span<const std::string_view> pinyinSyllables() {
+  return kPinyinSyllables;
+}
+std::span<const std::string_view> pinyinWords() { return kPinyinWords; }
+std::span<const std::string_view> keyboardWalks() { return kKeyboardWalks; }
+std::span<const std::string_view> digitStrings() {
+  return digitStringsUnion();
+}
+std::span<const std::string_view> westernDigitStrings() {
+  return kWesternDigitStrings;
+}
+std::span<const std::string_view> chineseDigitStrings() {
+  return kChineseDigitStrings;
+}
+
+}  // namespace fpsm::words

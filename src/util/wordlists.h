@@ -1,0 +1,53 @@
+// Embedded word lists.
+//
+// These play two roles:
+//  1. vocabulary for the synthetic dataset generator (src/synth), replacing
+//     the leaked corpora we cannot ship (see DESIGN.md §2);
+//  2. ranked dictionaries for the dictionary-based meters (zxcvbn, KeePSM,
+//     NIST dictionary check), mirroring the frequency lists those tools
+//     embed in their real implementations.
+//
+// All lists are ordered by (approximate) popularity: index == rank - 1.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace fpsm::words {
+
+/// Common passwords of English-speaking services (rockyou-style head,
+/// Table VIII right half).
+std::span<const std::string_view> commonPasswords();
+
+/// Common passwords of Chinese services (tianya/csdn-style head, Table
+/// VIII left half: digit idioms, love numbers, pinyin).
+std::span<const std::string_view> chineseCommonPasswords();
+
+/// Common English words, 3-10 letters, frequency-ordered.
+std::span<const std::string_view> englishWords();
+
+/// Common English given names and surnames (lower-case).
+std::span<const std::string_view> englishNames();
+
+/// Mandarin pinyin syllables (the building blocks of Chinese-user letter
+/// segments: names, words; e.g. "zhang", "wei", "long").
+std::span<const std::string_view> pinyinSyllables();
+
+/// Frequent full-name / word pinyin strings of Chinese users
+/// ("zhangwei", "woaini", ...).
+std::span<const std::string_view> pinyinWords();
+
+/// Keyboard-adjacent walk strings ("qwerty", "1q2w3e4r", "asdfgh", ...).
+std::span<const std::string_view> keyboardWalks();
+
+/// Popular pure-digit strings, union of both languages (for dictionaries).
+std::span<const std::string_view> digitStrings();
+
+/// Digit idioms popular with Western users ("123456", "696969", ...).
+std::span<const std::string_view> westernDigitStrings();
+
+/// Digit idioms popular with Chinese users (love numbers like "5201314" =
+/// "I love you forever", repeated lucky digits, keypad patterns).
+std::span<const std::string_view> chineseDigitStrings();
+
+}  // namespace fpsm::words

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/analysis.h"
+#include "corpus/dataset.h"
+#include "corpus/frequency.h"
+#include "corpus/io.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fpsm {
+namespace {
+
+Dataset makeSmall() {
+  Dataset ds("small");
+  ds.add("123456", 5);
+  ds.add("password", 3);
+  ds.add("abc123", 2);
+  ds.add("Zq9!x", 1);
+  return ds;
+}
+
+// -------------------------------------------------------------------- dataset
+
+TEST(Dataset, TotalsAndFrequencies) {
+  const Dataset ds = makeSmall();
+  EXPECT_EQ(ds.total(), 11u);
+  EXPECT_EQ(ds.unique(), 4u);
+  EXPECT_EQ(ds.frequency("123456"), 5u);
+  EXPECT_EQ(ds.frequency("nope"), 0u);
+  EXPECT_TRUE(ds.contains("password"));
+  EXPECT_NEAR(ds.probability("123456"), 5.0 / 11.0, 1e-12);
+  EXPECT_EQ(ds.probability("nope"), 0.0);
+}
+
+TEST(Dataset, AddAccumulates) {
+  Dataset ds;
+  ds.add("a");
+  ds.add("a", 2);
+  EXPECT_EQ(ds.frequency("a"), 3u);
+  ds.add("a", 0);  // no-op
+  EXPECT_EQ(ds.frequency("a"), 3u);
+  EXPECT_THROW(ds.add(""), InvalidArgument);
+}
+
+TEST(Dataset, SortedByFrequencyIsDeterministic) {
+  Dataset ds;
+  ds.add("bb", 2);
+  ds.add("aa", 2);
+  ds.add("cc", 7);
+  const auto sorted = ds.sortedByFrequency();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].password, "cc");
+  EXPECT_EQ(sorted[1].password, "aa");  // ties lexicographic
+  EXPECT_EQ(sorted[2].password, "bb");
+}
+
+TEST(Dataset, SortedViewOfTemporaryDoesNotDangle) {
+  // The rvalue overload materializes a copy, so iterating the sorted view
+  // of a temporary dataset is safe (regression test for the cache).
+  std::string first;
+  for (const auto& e : makeSmall().sortedByFrequency()) {
+    first = e.password;
+    break;
+  }
+  EXPECT_EQ(first, "123456");
+}
+
+TEST(Dataset, SortedCacheInvalidatedByAdd) {
+  Dataset ds;
+  ds.add("a", 1);
+  ds.add("b", 2);
+  EXPECT_EQ(ds.sortedByFrequency().front().password, "b");
+  ds.add("a", 5);
+  EXPECT_EQ(ds.sortedByFrequency().front().password, "a");
+}
+
+TEST(Dataset, MergeAddsCounts) {
+  Dataset a = makeSmall();
+  Dataset b;
+  b.add("123456", 5);
+  b.add("fresh", 1);
+  a.merge(b);
+  EXPECT_EQ(a.frequency("123456"), 10u);
+  EXPECT_EQ(a.frequency("fresh"), 1u);
+  EXPECT_EQ(a.total(), 17u);
+}
+
+TEST(Dataset, SampleOccurrenceMatchesProbabilities) {
+  Dataset ds;
+  ds.add("common", 9);
+  ds.add("rare", 1);
+  Rng rng(77);
+  int common = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (ds.sampleOccurrence(rng) == "common") ++common;
+  }
+  EXPECT_NEAR(common / 20000.0, 0.9, 0.02);
+  Dataset empty;
+  EXPECT_THROW(empty.sampleOccurrence(rng), InvalidArgument);
+}
+
+TEST(Dataset, RandomSplitPreservesMultiset) {
+  Dataset ds;
+  for (int i = 0; i < 50; ++i) {
+    ds.add("pw" + std::to_string(i), static_cast<std::uint64_t>(1 + i % 7));
+  }
+  Rng rng(5);
+  const auto parts = randomSplit(ds, 4, rng);
+  ASSERT_EQ(parts.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& p : parts) total += p.total();
+  EXPECT_EQ(total, ds.total());
+  // Per-password counts are preserved across parts.
+  ds.forEach([&](std::string_view pw, std::uint64_t c) {
+    std::uint64_t sum = 0;
+    for (const auto& p : parts) sum += p.frequency(pw);
+    EXPECT_EQ(sum, c);
+  });
+  // Quarters are roughly equal.
+  for (const auto& p : parts) {
+    EXPECT_NEAR(static_cast<double>(p.total()),
+                static_cast<double>(ds.total()) / 4.0,
+                static_cast<double>(ds.total()) * 0.15);
+  }
+  EXPECT_THROW(randomSplit(ds, 0, rng), InvalidArgument);
+}
+
+// ------------------------------------------------------------------------- io
+
+TEST(Io, RoundTrip) {
+  const Dataset ds = makeSmall();
+  std::stringstream ss;
+  saveDataset(ds, ss);
+  Dataset back;
+  const auto stats = loadDataset(ss, back);
+  EXPECT_EQ(stats.accepted, ds.total());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(back.total(), ds.total());
+  EXPECT_EQ(back.unique(), ds.unique());
+  ds.forEach([&](std::string_view pw, std::uint64_t c) {
+    EXPECT_EQ(back.frequency(pw), c);
+  });
+}
+
+TEST(Io, PlainLinesCountOne) {
+  std::stringstream ss("alpha\nbeta\nalpha\n");
+  Dataset ds;
+  const auto stats = loadDataset(ss, ds);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(ds.frequency("alpha"), 2u);
+}
+
+TEST(Io, RejectsBadLines) {
+  std::stringstream ss("good\n\nbad\tnotanumber\nalso\t0\nfine\t3\n");
+  Dataset ds;
+  const auto stats = loadDataset(ss, ds);
+  EXPECT_EQ(ds.frequency("good"), 1u);
+  EXPECT_EQ(ds.frequency("fine"), 3u);
+  EXPECT_EQ(stats.rejected, 3u);  // empty line, bad count, zero count
+}
+
+TEST(Io, HandlesCrlf) {
+  std::stringstream ss("word\r\n");
+  Dataset ds;
+  loadDataset(ss, ds);
+  EXPECT_TRUE(ds.contains("word"));
+}
+
+TEST(Io, MissingFileThrows) {
+  Dataset ds;
+  EXPECT_THROW(loadDatasetFile("/nonexistent/path/x.txt", ds), IoError);
+}
+
+// ------------------------------------------------------------------- analysis
+
+TEST(Analysis, TopKAndHeadMass) {
+  const Dataset ds = makeSmall();
+  const auto top = topK(ds, 2);
+  ASSERT_EQ(top.entries.size(), 2u);
+  EXPECT_EQ(top.entries[0].password, "123456");
+  EXPECT_EQ(top.entries[1].password, "password");
+  EXPECT_NEAR(top.headMass, 8.0 / 11.0, 1e-12);
+  const auto all = topK(ds, 100);
+  EXPECT_EQ(all.entries.size(), 4u);
+  EXPECT_NEAR(all.headMass, 1.0, 1e-12);
+}
+
+TEST(Analysis, CompositionClassesAreExclusiveWhereExpected) {
+  Dataset ds;
+  ds.add("abcdef", 4);     // only lower
+  ds.add("ABCDEF", 2);     // only upper
+  ds.add("123456", 3);     // only digits
+  ds.add("!!!", 1);        // only symbols
+  const auto s = compositionStats(ds);
+  EXPECT_NEAR(s.onlyLower, 0.4, 1e-12);
+  EXPECT_NEAR(s.onlyUpper, 0.2, 1e-12);
+  EXPECT_NEAR(s.onlyDigits, 0.3, 1e-12);
+  EXPECT_NEAR(s.onlySymbols, 0.1, 1e-12);
+  EXPECT_NEAR(s.onlyLetters, 0.6, 1e-12);
+  EXPECT_NEAR(s.alnumOnly, 0.9, 1e-12);
+  EXPECT_NEAR(s.hasDigit, 0.3, 1e-12);
+}
+
+TEST(Analysis, CompositionStructuredShapes) {
+  Dataset ds;
+  ds.add("123abc", 1);   // digits-then-lower (and digits-then-letters)
+  ds.add("abc123", 1);   // letters-then-digits
+  ds.add("abc1", 1);     // lower-then-one and letters-then-digits
+  ds.add("12ABc", 1);    // digits-then-letters only
+  const auto s = compositionStats(ds);
+  EXPECT_NEAR(s.digitsThenLower, 0.25, 1e-12);
+  EXPECT_NEAR(s.digitsThenLetters, 0.5, 1e-12);
+  EXPECT_NEAR(s.lettersThenDigits, 0.5, 1e-12);
+  EXPECT_NEAR(s.lowerThenOne, 0.25, 1e-12);
+}
+
+TEST(Analysis, LengthDistributionBucketsSumToOne) {
+  Dataset ds;
+  ds.add("abc", 2);               // 1-5 bucket
+  ds.add("abcdef", 3);            // 6
+  ds.add("abcdefghij", 1);        // 10
+  ds.add("abcdefghijklmnop", 4);  // >= 15
+  const auto d = lengthDistribution(ds);
+  EXPECT_NEAR(d.short1to5, 0.2, 1e-12);
+  EXPECT_NEAR(d.exact[0], 0.3, 1e-12);   // length 6
+  EXPECT_NEAR(d.exact[4], 0.1, 1e-12);   // length 10
+  EXPECT_NEAR(d.long15plus, 0.4, 1e-12);
+  double sum = d.short1to5 + d.long15plus;
+  for (double v : d.exact) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Analysis, FrequencySpectrum) {
+  Dataset ds;
+  ds.add("a", 10);
+  ds.add("b", 4);
+  ds.add("c", 1);
+  ds.add("d", 1);
+  ds.add("e", 2);
+  const auto spec = frequencySpectrum(ds);
+  // Spectrum ascending in f: (1,2), (2,1), (4,1), (10,1).
+  ASSERT_EQ(spec.spectrum.size(), 4u);
+  EXPECT_EQ(spec.spectrum[0], (std::pair<std::uint64_t, std::uint64_t>{1, 2}));
+  EXPECT_EQ(spec.spectrum[3],
+            (std::pair<std::uint64_t, std::uint64_t>{10, 1}));
+  EXPECT_EQ(spec.singletons, 2u);
+  EXPECT_EQ(spec.reliableDistinct, 2u);  // a and b
+  EXPECT_NEAR(spec.singletonMass, 2.0 / 18.0, 1e-12);
+  EXPECT_NEAR(spec.reliableMass, 14.0 / 18.0, 1e-12);
+  EXPECT_GT(spec.zipf.exponent, 0.0);
+
+  Dataset tiny;
+  tiny.add("only");
+  EXPECT_THROW(frequencySpectrum(tiny), InvalidArgument);
+}
+
+TEST(Analysis, OverlapFraction) {
+  Dataset a, b;
+  a.add("one", 5);
+  a.add("two", 1);
+  a.add("three", 4);
+  b.add("one", 2);
+  b.add("three", 9);
+  EXPECT_NEAR(overlapFraction(a, b), 2.0 / 3.0, 1e-12);
+  // Threshold excludes "two" (freq 1) -> both remaining are shared.
+  EXPECT_NEAR(overlapFraction(a, b, 4), 1.0, 1e-12);
+  Dataset empty;
+  EXPECT_EQ(overlapFraction(empty, b), 0.0);
+}
+
+}  // namespace
+}  // namespace fpsm

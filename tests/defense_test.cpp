@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/defense.h"
+#include "meters/ideal/ideal.h"
+#include "meters/nist/nist.h"
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+Dataset headHeavyCorpus() {
+  Dataset ds("calib");
+  ds.add("123456", 100);
+  ds.add("password", 60);
+  ds.add("qwerty", 40);
+  ds.add("dragon2015", 5);
+  ds.add("zQ#9vLp2x!", 1);
+  ds.add("correcthorse", 1);
+  return ds;
+}
+
+// --------------------------------------------------------------- calibrate
+
+TEST(Calibrate, ThresholdTracksPercentile) {
+  const Dataset ds = headHeavyCorpus();
+  IdealMeter ideal(ds);
+  // Under the ideal meter the weakest mass is exactly the popular head:
+  // 123456 has bits -log2(100/207) ~ 1.05; at 30% the cutoff is inside
+  // the 123456 block.
+  const double t30 = calibrateThreshold(ideal, ds, 0.30);
+  EXPECT_NEAR(t30, -std::log2(100.0 / 207.0), 1e-9);
+  // At 60% the cutoff reaches the password block.
+  const double t60 = calibrateThreshold(ideal, ds, 0.60);
+  EXPECT_NEAR(t60, -std::log2(60.0 / 207.0), 1e-9);
+  EXPECT_GT(t60, t30);
+}
+
+TEST(Calibrate, ValidatesArguments) {
+  const Dataset ds = headHeavyCorpus();
+  IdealMeter ideal(ds);
+  EXPECT_THROW(calibrateThreshold(ideal, ds, 0.0), InvalidArgument);
+  EXPECT_THROW(calibrateThreshold(ideal, ds, 1.0), InvalidArgument);
+  Dataset empty;
+  EXPECT_THROW(calibrateThreshold(ideal, empty, 0.5), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- trawling
+
+TEST(Trawling, CoverageOfHead) {
+  const Dataset ds = headHeavyCorpus();
+  // Top-1 = 123456: 100/207.
+  EXPECT_NEAR(trawlingCompromise(ds, 1), 100.0 / 207.0, 1e-12);
+  EXPECT_NEAR(trawlingCompromise(ds, 3), 200.0 / 207.0, 1e-12);
+  EXPECT_NEAR(trawlingCompromise(ds, 100), 1.0, 1e-12);
+  Dataset empty;
+  EXPECT_EQ(trawlingCompromise(empty, 10), 0.0);
+}
+
+// ---------------------------------------------------------------- simulate
+
+class DefenseSim : public ::testing::Test {
+ protected:
+  DefenseSim()
+      : population_(4000, 4000, 5),
+        generator_(population_, SurveyModel::paper(), 6),
+        service_(ServiceProfile::byName("Yahoo", 0.002, 3000)),
+        calibration_(generator_.generate(
+            ServiceProfile::byName("Phpbb", 0.01, 3000))) {}
+
+  DefenseConfig smallConfig() const {
+    DefenseConfig cfg;
+    cfg.accounts = 4000;
+    cfg.onlineBudget = 100;
+    return cfg;
+  }
+
+  PopulationModel population_;
+  DatasetGenerator generator_;
+  ServiceProfile service_;
+  Dataset calibration_;
+};
+
+TEST_F(DefenseSim, NoGateBaseline) {
+  const auto r = simulateDefense(nullptr, generator_, population_, service_,
+                                 calibration_, smallConfig());
+  EXPECT_EQ(r.meterName, "(no gate)");
+  EXPECT_EQ(r.rejectionRate, 0.0);
+  EXPECT_EQ(r.gaveUpRate, 0.0);
+  EXPECT_NEAR(r.meanProposals, 1.0, 1e-12);
+  EXPECT_GT(r.compromisedOnline, 0.05);  // ungated corpora have fat heads
+}
+
+TEST_F(DefenseSim, GateReducesCompromiseAndCostsEffort) {
+  const auto baseline = simulateDefense(nullptr, generator_, population_,
+                                        service_, calibration_,
+                                        smallConfig());
+  NistMeter nist;  // even the crudest gate screens the dictionary head
+  const auto gated = simulateDefense(&nist, generator_, population_,
+                                     service_, calibration_, smallConfig());
+  EXPECT_GT(gated.rejectionRate, 0.02);
+  EXPECT_GT(gated.meanProposals, 1.0);
+  EXPECT_LT(gated.compromisedOnline, baseline.compromisedOnline);
+}
+
+TEST_F(DefenseSim, HigherPercentileRejectsMore) {
+  NistMeter nist;
+  DefenseConfig mild = smallConfig();
+  mild.rejectPercentile = 0.05;
+  DefenseConfig strict = smallConfig();
+  strict.rejectPercentile = 0.40;
+  const auto a = simulateDefense(&nist, generator_, population_, service_,
+                                 calibration_, mild);
+  const auto b = simulateDefense(&nist, generator_, population_, service_,
+                                 calibration_, strict);
+  EXPECT_GE(b.threshold, a.threshold);
+  EXPECT_GT(b.rejectionRate, a.rejectionRate);
+  EXPECT_LE(b.compromisedOnline, a.compromisedOnline + 0.01);
+}
+
+TEST_F(DefenseSim, DeterministicPerSeed) {
+  NistMeter nist;
+  const auto a = simulateDefense(&nist, generator_, population_, service_,
+                                 calibration_, smallConfig());
+  const auto b = simulateDefense(&nist, generator_, population_, service_,
+                                 calibration_, smallConfig());
+  EXPECT_EQ(a.compromisedOnline, b.compromisedOnline);
+  EXPECT_EQ(a.rejectionRate, b.rejectionRate);
+  EXPECT_EQ(a.distinctAccepted, b.distinctAccepted);
+}
+
+}  // namespace
+}  // namespace fpsm

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "meters/ideal/ideal.h"
+#include "meters/pcfg/pcfg.h"
+#include "model/montecarlo.h"
+#include "model/unusable.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace fpsm {
+namespace {
+
+Dataset zipfishDataset(int distinct, std::uint64_t headCount) {
+  Dataset ds;
+  for (int i = 0; i < distinct; ++i) {
+    const auto count =
+        std::max<std::uint64_t>(1, headCount / static_cast<std::uint64_t>(i + 1));
+    ds.add("pw" + std::to_string(i), count);
+  }
+  return ds;
+}
+
+// --------------------------------------------------------------- Monte Carlo
+
+TEST(MonteCarlo, RecoversExactRanksOfIdealModel) {
+  // For the ideal (empirical) model the true guess number of the i-th most
+  // frequent password is i (distinct counts). The estimator should land
+  // within a small factor given enough samples.
+  const Dataset ds = zipfishDataset(200, 1000);
+  IdealMeter ideal(ds);
+  Rng rng(42);
+  MonteCarloEstimator mc(ideal, 20000, rng);
+  const auto sorted = ds.sortedByFrequency();
+  for (const std::size_t idx : {std::size_t{0}, std::size_t{4},
+                                std::size_t{19}, std::size_t{79}}) {
+    const double est = mc.guessNumberOf(ideal, sorted[idx].password);
+    const double truth = static_cast<double>(idx + 1);
+    EXPECT_GT(est, truth * 0.5) << idx;
+    EXPECT_LT(est, truth * 2.0 + 2.0) << idx;
+  }
+}
+
+TEST(MonteCarlo, MonotoneInProbability) {
+  const Dataset ds = zipfishDataset(50, 100);
+  IdealMeter ideal(ds);
+  Rng rng(7);
+  MonteCarloEstimator mc(ideal, 5000, rng);
+  // Lower probability -> (weakly) larger guess number.
+  double prev = 0.0;
+  for (double lp : {-2.0, -5.0, -8.0, -12.0}) {
+    const double g = mc.guessNumber(lp);
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(MonteCarlo, ZeroProbabilityGetsCeiling) {
+  const Dataset ds = zipfishDataset(20, 50);
+  IdealMeter ideal(ds);
+  Rng rng(9);
+  MonteCarloEstimator mc(ideal, 1000, rng);
+  const double g =
+      mc.guessNumber(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(g, mc.guessNumberCeiling());
+  EXPECT_GE(mc.guessNumberCeiling(), 20.0);  // at least the support size
+}
+
+TEST(MonteCarlo, AgreesWithPcfgEnumerationOrder) {
+  // Strong cross-check: the MC guess-number estimate of the k-th password
+  // in the exact enumeration order should be close to k.
+  Dataset ds;
+  Rng gen(5);
+  // A corpus with enough cross-product mass to make enumeration non-trivial.
+  const char* words[] = {"password", "dragon", "monkey", "letme",
+                         "qwerty", "secret"};
+  const char* digits[] = {"1", "12", "123", "2000", "99"};
+  for (const char* w : words) {
+    for (const char* d : digits) {
+      ds.add(std::string(w) + d, 1 + gen.below(20));
+    }
+  }
+  PcfgModel model;
+  model.train(ds);
+  Rng rng(11);
+  MonteCarloEstimator mc(model, 30000, rng);
+  std::vector<std::pair<std::string, double>> guesses;
+  model.enumerateGuesses(25, [&](std::string_view g, double lp) {
+    guesses.emplace_back(std::string(g), lp);
+    return true;
+  });
+  ASSERT_GE(guesses.size(), 20u);
+  for (std::size_t k = 1; k < guesses.size(); k += 4) {
+    const double est = mc.guessNumber(guesses[k].second);
+    const double truth = static_cast<double>(k + 1);
+    EXPECT_GT(est, truth / 4.0) << "guess " << guesses[k].first;
+    EXPECT_LT(est, truth * 4.0 + 4.0) << "guess " << guesses[k].first;
+  }
+}
+
+TEST(MonteCarlo, RejectsZeroSamples) {
+  const Dataset ds = zipfishDataset(5, 10);
+  IdealMeter ideal(ds);
+  Rng rng(1);
+  EXPECT_THROW(MonteCarloEstimator(ideal, 0, rng), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- Unusable
+
+TEST(Unusable, AllUsableWhenTestEqualsTrain) {
+  const Dataset ds = zipfishDataset(50, 100);
+  IdealMeter ideal(ds);
+  const auto res = unusableGuessAnalysis(ideal, ds, {10, 50});
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].guesses, 10u);
+  EXPECT_EQ(res[0].unusable, 0u);
+  EXPECT_EQ(res[0].crackedUnique, 10u);
+  EXPECT_EQ(res[1].unusable, 0u);
+}
+
+TEST(Unusable, AllUnusableWhenDisjoint) {
+  const Dataset train = zipfishDataset(30, 100);
+  Dataset test;
+  test.add("completely", 3);
+  test.add("different", 2);
+  IdealMeter ideal(train);
+  const auto res = unusableGuessAnalysis(ideal, test, {10});
+  EXPECT_EQ(res[0].unusable, 10u);
+  EXPECT_EQ(res[0].crackedUnique, 0u);
+}
+
+TEST(Unusable, ExhaustionReportsFinalState) {
+  const Dataset train = zipfishDataset(5, 10);  // only 5 guesses available
+  IdealMeter ideal(train);
+  const auto res = unusableGuessAnalysis(ideal, train, {3, 100});
+  ASSERT_EQ(res.size(), 2u);
+  EXPECT_EQ(res[0].guesses, 3u);
+  EXPECT_EQ(res[1].guesses, 100u);  // checkpoint label preserved
+  EXPECT_EQ(res[1].crackedUnique, 5u);
+}
+
+TEST(Unusable, CrackedMassCountsOccurrences) {
+  Dataset train;
+  train.add("a", 5);
+  train.add("b", 1);
+  Dataset test;
+  test.add("a", 7);
+  test.add("c", 2);
+  IdealMeter ideal(train);
+  const auto res = unusableGuessAnalysis(ideal, test, {2});
+  EXPECT_EQ(res[0].crackedUnique, 1u);
+  EXPECT_EQ(res[0].crackedMass, 7u);
+  EXPECT_EQ(res[0].unusable, 1u);
+}
+
+TEST(Unusable, ValidatesArguments) {
+  const Dataset ds = zipfishDataset(5, 10);
+  IdealMeter ideal(ds);
+  EXPECT_THROW(unusableGuessAnalysis(ideal, ds, {}), InvalidArgument);
+  EXPECT_THROW(unusableGuessAnalysis(ideal, ds, {10, 5}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fpsm

@@ -1,0 +1,147 @@
+// Failure-injection tests for the serialization formats: every truncation
+// and every single-line corruption of a valid grammar/model file must
+// raise IoError (or load an equivalent model) — never crash, hang, or
+// silently mis-load.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_psm.h"
+#include "corpus/dataset.h"
+#include "meters/markov/markov.h"
+#include "meters/pcfg/pcfg.h"
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+Dataset smallCorpus() {
+  Dataset ds;
+  ds.add("password1", 5);
+  ds.add("Dr@gon99", 2);
+  ds.add("abc 123", 1);
+  return ds;
+}
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Loads with `loader`; success or IoError are both acceptable outcomes,
+/// anything else (crash, other exception) fails the test.
+template <typename Loader>
+void expectGracefulLoad(const std::string& payload, Loader&& loader) {
+  std::stringstream in(payload);
+  try {
+    loader(in);
+  } catch (const IoError&) {
+    // corrupted input correctly rejected
+  } catch (const std::invalid_argument&) {
+    // std::stoi family on a mangled numeric field — acceptable rejection
+  } catch (const std::out_of_range&) {
+    // ditto for overflowing numeric fields
+  }
+}
+
+// ----------------------------------------------------------------- fuzzy
+
+TEST(SerializationFuzz, FuzzyGrammarTruncations) {
+  FuzzyPsm psm;
+  psm.addBaseWord("password");
+  psm.train(smallCorpus());
+  std::stringstream full;
+  psm.save(full);
+  const auto lines = splitLines(full.str());
+  ASSERT_GT(lines.size(), 10u);
+
+  for (std::size_t keep = 0; keep < lines.size(); ++keep) {
+    std::string payload;
+    for (std::size_t i = 0; i < keep; ++i) payload += lines[i] + "\n";
+    expectGracefulLoad(payload,
+                       [](std::istream& in) { FuzzyPsm::load(in); });
+  }
+}
+
+TEST(SerializationFuzz, FuzzyGrammarLineCorruption) {
+  FuzzyPsm psm;
+  psm.addBaseWord("password");
+  psm.train(smallCorpus());
+  std::stringstream full;
+  psm.save(full);
+  const auto lines = splitLines(full.str());
+
+  for (std::size_t corrupt = 0; corrupt < lines.size(); ++corrupt) {
+    std::string payload;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      payload += (i == corrupt ? "###garbage###" : lines[i]);
+      payload += "\n";
+    }
+    expectGracefulLoad(payload,
+                       [](std::istream& in) { FuzzyPsm::load(in); });
+  }
+}
+
+// ------------------------------------------------------------------ pcfg
+
+TEST(SerializationFuzz, PcfgTruncations) {
+  PcfgModel model;
+  model.train(smallCorpus());
+  std::stringstream full;
+  model.save(full);
+  const auto lines = splitLines(full.str());
+  for (std::size_t keep = 0; keep < lines.size(); ++keep) {
+    std::string payload;
+    for (std::size_t i = 0; i < keep; ++i) payload += lines[i] + "\n";
+    expectGracefulLoad(payload,
+                       [](std::istream& in) { PcfgModel::load(in); });
+  }
+}
+
+// ---------------------------------------------------------------- markov
+
+TEST(SerializationFuzz, MarkovTruncationsAndCorruption) {
+  MarkovConfig cfg;
+  cfg.order = 2;
+  MarkovModel model(cfg);
+  model.train(smallCorpus());
+  std::stringstream full;
+  model.save(full);
+  const auto lines = splitLines(full.str());
+  // Truncations (sampled stride keeps the sweep fast on big files).
+  for (std::size_t keep = 0; keep < lines.size();
+       keep += std::max<std::size_t>(1, lines.size() / 40)) {
+    std::string payload;
+    for (std::size_t i = 0; i < keep; ++i) payload += lines[i] + "\n";
+    expectGracefulLoad(payload,
+                       [](std::istream& in) { MarkovModel::load(in); });
+  }
+  // Corrupt the config line specifically.
+  {
+    std::string payload = lines[0] + "\nconfig\tbroken\n";
+    expectGracefulLoad(payload,
+                       [](std::istream& in) { MarkovModel::load(in); });
+  }
+}
+
+// ------------------------------------------------------- round-trip sanity
+
+TEST(SerializationFuzz, UncorruptedFilesStillLoad) {
+  // Guard against the fuzz helpers masking a broken happy path.
+  FuzzyPsm psm;
+  psm.addBaseWord("password");
+  psm.train(smallCorpus());
+  std::stringstream ss;
+  psm.save(ss);
+  const FuzzyPsm back = FuzzyPsm::load(ss);
+  EXPECT_NEAR(back.log2Prob("password1"), psm.log2Prob("password1"), 1e-12);
+}
+
+}  // namespace
+}  // namespace fpsm

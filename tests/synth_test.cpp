@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "corpus/analysis.h"
+#include "stats/zipf.h"
+#include "synth/behavior.h"
+#include "synth/generator.h"
+#include "synth/population.h"
+#include "synth/profile.h"
+#include "synth/vocab.h"
+#include "util/chars.h"
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+// ------------------------------------------------------------------ survey
+
+TEST(Survey, CreationChoiceMatchesPaperMarginals) {
+  const SurveyModel s = SurveyModel::paper();
+  EXPECT_NEAR(s.reuseOrModify(), 0.7738, 1e-9);  // paper headline
+  Rng rng(1);
+  int reuse = 0, modify = 0, fresh = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (s.sampleCreationChoice(rng)) {
+      case CreationChoice::ReuseExact: ++reuse; break;
+      case CreationChoice::ModifyExisting: ++modify; break;
+      case CreationChoice::CreateNew: ++fresh; break;
+    }
+  }
+  EXPECT_NEAR((reuse + modify) / static_cast<double>(kDraws), 0.7738, 0.01);
+  EXPECT_NEAR(fresh / static_cast<double>(kDraws),
+              1.0 - s.reuseOrModify(), 0.01);
+}
+
+TEST(Survey, ConcatenationLeadsRuleMix) {
+  const SurveyModel s = SurveyModel::paper();
+  Rng rng(2);
+  int counts[6] = {};
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[static_cast<int>(s.samplePrimaryRule(rng))];
+  }
+  // Fig. 5: concatenation takes the lead, then capitalization and leet.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);  // leet > reverse
+}
+
+TEST(Survey, EndPlacementDominates) {
+  const SurveyModel s = SurveyModel::paper();
+  Rng rng(3);
+  int end = 0, begin = 0, middle = 0;
+  for (int i = 0; i < 50000; ++i) {
+    switch (s.samplePlacement(rng)) {
+      case Placement::End: ++end; break;
+      case Placement::Beginning: ++begin; break;
+      case Placement::Middle: ++middle; break;
+    }
+  }
+  // Figs. 6/7: end > beginning > middle... the paper orders end, middle,
+  // beginning by likelihood in the text; our model keeps end dominant.
+  EXPECT_GT(end, begin + middle);
+}
+
+// -------------------------------------------------------------- vocabulary
+
+TEST(Vocabulary, ProducesValidPasswordsPerLanguage) {
+  Rng rng(4);
+  for (const Language lang : {Language::Chinese, Language::English}) {
+    const Vocabulary v(lang);
+    for (int i = 0; i < 200; ++i) {
+      for (const std::string& s :
+           {v.popularPassword(rng), v.word(rng), v.name(rng),
+            v.keyboardWalk(rng), v.digitIdiom(rng), v.year(rng),
+            v.birthday(rng)}) {
+        EXPECT_TRUE(isValidPassword(s)) << s;
+      }
+    }
+  }
+}
+
+TEST(Vocabulary, YearAndBirthdayShapes) {
+  const Vocabulary v(Language::English);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const std::string y = v.year(rng);
+    ASSERT_EQ(y.size(), 4u);
+    const int year = std::stoi(y);
+    EXPECT_GE(year, 1970);
+    EXPECT_LE(year, 2005);
+    const std::string b = v.birthday(rng);
+    EXPECT_TRUE(b.size() == 6 || b.size() == 8) << b;
+    EXPECT_TRUE(std::all_of(b.begin(), b.end(), isDigit));
+  }
+}
+
+TEST(Vocabulary, RandomDigitsLength) {
+  const Vocabulary v(Language::Chinese);
+  Rng rng(6);
+  const std::string d = v.randomDigits(rng, 7);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_TRUE(std::all_of(d.begin(), d.end(), isDigit));
+}
+
+// -------------------------------------------------------------- population
+
+TEST(Population, DeterministicFromSeed) {
+  PopulationModel a(100, 100, 42);
+  PopulationModel b(100, 100, 42);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.user(Language::Chinese, i).portfolio,
+              b.user(Language::Chinese, i).portfolio);
+  }
+  PopulationModel c(100, 100, 43);
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < 100 && !anyDiff; ++i) {
+    anyDiff = a.user(Language::English, i).portfolio !=
+              c.user(Language::English, i).portfolio;
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Population, PortfoliosAreSmallAndValid) {
+  PopulationModel pop(500, 500, 7);
+  for (const Language lang : {Language::Chinese, Language::English}) {
+    for (std::size_t i = 0; i < 500; ++i) {
+      const auto& u = pop.user(lang, i);
+      EXPECT_EQ(u.language, lang);
+      EXPECT_GE(u.portfolio.size(), 1u);
+      EXPECT_LE(u.portfolio.size(), 3u);
+      for (const auto& pw : u.portfolio) {
+        EXPECT_TRUE(isValidPassword(pw)) << pw;
+        EXPECT_GE(pw.size(), 6u);
+        EXPECT_LE(pw.size(), 20u);
+      }
+    }
+  }
+}
+
+TEST(Population, IndexWrapsModuloPool) {
+  PopulationModel pop(50, 50, 9);
+  EXPECT_EQ(pop.user(Language::Chinese, 3).portfolio,
+            pop.user(Language::Chinese, 53).portfolio);
+  EXPECT_EQ(pop.userCount(Language::English), 50u);
+}
+
+TEST(Population, RejectsEmptyPools) {
+  EXPECT_THROW(PopulationModel(0, 10, 1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- profiles
+
+TEST(Profiles, ElevenPaperServices) {
+  const auto all = ServiceProfile::paperServices(0.01);
+  ASSERT_EQ(all.size(), 11u);
+  EXPECT_EQ(all[0].name, "Tianya");
+  EXPECT_EQ(all[0].language, Language::Chinese);
+  EXPECT_EQ(all[0].accounts, 309012u);  // 30,901,241 / 100
+  // CSDN's length-8 policy, Singles' length cap (Table X discussion).
+  const auto csdn = ServiceProfile::byName("CSDN", 0.01);
+  EXPECT_EQ(csdn.minLen, 8u);
+  const auto singles = ServiceProfile::byName("Singles", 0.01);
+  EXPECT_EQ(singles.maxLen, 8u);
+  EXPECT_EQ(singles.accounts, 3000u);  // floored at minAccounts
+  EXPECT_THROW(ServiceProfile::byName("Nope"), InvalidArgument);
+  EXPECT_THROW(ServiceProfile::paperServices(0.0), InvalidArgument);
+}
+
+// --------------------------------------------------------------- generator
+
+class GeneratorShape : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.001;
+  PopulationModel pop_{30000, 30000, 1234};
+  DatasetGenerator gen_{pop_, SurveyModel::paper(), 99};
+
+  Dataset make(const std::string& name) {
+    return gen_.generate(ServiceProfile::byName(name, kScale, 3000));
+  }
+};
+
+TEST_F(GeneratorShape, DeterministicPerSeed) {
+  const Dataset a = make("Yahoo");
+  const Dataset b = make("Yahoo");
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.unique(), b.unique());
+  a.forEach([&](std::string_view pw, std::uint64_t c) {
+    EXPECT_EQ(b.frequency(pw), c);
+  });
+}
+
+TEST_F(GeneratorShape, RespectsPolicies) {
+  const Dataset csdn = make("CSDN");
+  std::uint64_t shortMass = 0;
+  csdn.forEach([&](std::string_view pw, std::uint64_t c) {
+    if (pw.size() < 8) shortMass += c;  // legacy pre-policy accounts
+    EXPECT_LE(pw.size(), 20u) << pw;
+  });
+  // CSDN's length >= 8 policy holds except for the ~2.2% legacy fraction
+  // (Table X shows real CSDN keeping ~2.2% shorter passwords).
+  const double shortFrac =
+      static_cast<double>(shortMass) / static_cast<double>(csdn.total());
+  EXPECT_LT(shortFrac, 0.05);
+  EXPECT_GT(shortFrac, 0.005);
+  const Dataset singles = make("Singles");
+  singles.forEach([](std::string_view pw, std::uint64_t) {
+    EXPECT_LE(pw.size(), 8u) << pw;   // Singles length <= 8
+  });
+}
+
+TEST_F(GeneratorShape, ChineseDigitHeavyEnglishLetterHeavy) {
+  const auto zh = compositionStats(make("Tianya"));
+  const auto en = compositionStats(make("Rockyou"));
+  // Table IX shape: Chinese digit-only share far exceeds English; English
+  // lower-only share far exceeds Chinese.
+  EXPECT_GT(zh.onlyDigits, 0.35);
+  EXPECT_LT(en.onlyDigits, 0.25);
+  EXPECT_GT(en.onlyLower, zh.onlyLower + 0.1);
+  // Symbols are rare everywhere (Table IX).
+  EXPECT_GT(zh.alnumOnly, 0.9);
+  EXPECT_GT(en.alnumOnly, 0.9);
+}
+
+TEST_F(GeneratorShape, ZipfHead) {
+  const Dataset ds = make("Tianya");
+  const auto top = topK(ds, 10);
+  // Table VIII: top-10 carries percent-level mass, rank 1 dominates.
+  EXPECT_GT(top.headMass, 0.02);
+  EXPECT_LT(top.headMass, 0.30);
+  EXPECT_GT(top.entries[0].count, 2 * top.entries[9].count);
+  // The rank-frequency head is roughly power-law.
+  std::vector<std::uint64_t> freqs;
+  for (const auto& e : ds.sortedByFrequency()) {
+    freqs.push_back(e.count);
+    if (freqs.size() >= 500) break;
+  }
+  const auto fit = fitZipf(freqs);
+  EXPECT_GT(fit.exponent, 0.3);
+  EXPECT_GT(fit.r2, 0.7);
+}
+
+TEST_F(GeneratorShape, SameLanguageOverlapExceedsCrossLanguage) {
+  const Dataset tianya = make("Tianya");
+  const Dataset weibo = make("Weibo");
+  const Dataset rockyou = make("Rockyou");
+  // Fig. 12: same-language services share more of their common passwords
+  // than cross-language pairs. Compare at the f>=4 head where the ideal
+  // meter is reliable.
+  const double same = overlapFraction(tianya, weibo, 4);
+  const double cross = overlapFraction(tianya, rockyou, 4);
+  EXPECT_GT(same, cross);
+  EXPECT_GT(same, 0.2);
+}
+
+TEST_F(GeneratorShape, LengthsConcentrateSixToTen) {
+  const auto d = lengthDistribution(make("Rockyou"));
+  double mass6to10 = 0;
+  for (int len = 6; len <= 10; ++len) mass6to10 += d.exact[len - 6];
+  EXPECT_GT(mass6to10, 0.6);  // Table X: most passwords are 6-10 chars
+}
+
+TEST_F(GeneratorShape, VerbatimReuseRateMatchesSurvey) {
+  // Fraction of accounts whose password equals a portfolio item of *some*
+  // user must be at least the verbatim-reuse rate the survey model
+  // prescribes (modified passwords can coincide too, so >=).
+  const auto profile = ServiceProfile::byName("Weibo", kScale, 3000);
+  const Dataset ds = gen_.generate(profile);
+  StringSet portfolioSet;
+  for (std::size_t u = 0; u < 30000; ++u) {
+    for (const auto& pw : pop_.user(Language::Chinese, u).portfolio) {
+      portfolioSet.insert(pw);
+    }
+  }
+  std::uint64_t reusedMass = 0;
+  ds.forEach([&](std::string_view pw, std::uint64_t c) {
+    if (portfolioSet.contains(pw)) reusedMass += c;
+  });
+  const double reuseRate =
+      static_cast<double>(reusedMass) / static_cast<double>(ds.total());
+  const SurveyModel survey = gen_.surveyFor(profile);
+  EXPECT_GT(reuseRate, survey.reuseExact * 0.8);
+  EXPECT_LT(reuseRate, 0.95);
+}
+
+TEST_F(GeneratorShape, SharedUsersCarryPasswordsAcrossServices) {
+  // The mechanism fuzzyPSM exploits: a user's exact password shows up on
+  // multiple same-language services.
+  const Dataset a = make("Tianya");
+  const Dataset b = make("Weibo");
+  std::uint64_t sharedMass = 0;
+  b.forEach([&](std::string_view pw, std::uint64_t c) {
+    if (a.contains(pw)) sharedMass += c;
+  });
+  // Far more of Weibo's mass than its distinct-overlap suggests is old
+  // passwords from the shared population.
+  EXPECT_GT(static_cast<double>(sharedMass) /
+                static_cast<double>(b.total()),
+            0.15);
+}
+
+TEST_F(GeneratorShape, ModifyPasswordAltersButPreservesCore) {
+  Rng rng(17);
+  const Vocabulary vocab(Language::English);
+  const auto profile = ServiceProfile::byName("Yahoo", kScale);
+  int changed = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string base = "monkey";
+    const std::string out = gen_.modifyPassword(base, profile, vocab, rng);
+    EXPECT_TRUE(isValidPassword(out));
+    if (out != base) ++changed;
+  }
+  // Capitalize-none / no-op rules keep some unchanged, but most change.
+  EXPECT_GT(changed, 350);
+}
+
+}  // namespace
+}  // namespace fpsm

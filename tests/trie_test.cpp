@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "trie/trie.h"
+#include "util/rng.h"
+
+namespace fpsm {
+namespace {
+
+TEST(Trie, EmptyTrie) {
+  Trie t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains("a"));
+  EXPECT_EQ(t.longestPrefix("abc"), 0u);
+}
+
+TEST(Trie, InsertAndContains) {
+  Trie t;
+  EXPECT_TRUE(t.insert("password"));
+  EXPECT_FALSE(t.insert("password"));  // duplicate
+  EXPECT_TRUE(t.insert("pass"));
+  EXPECT_TRUE(t.insert("passwords"));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.contains("password"));
+  EXPECT_TRUE(t.contains("pass"));
+  EXPECT_TRUE(t.contains("passwords"));
+  EXPECT_FALSE(t.contains("passwor"));
+  EXPECT_FALSE(t.contains("passworda"));
+  EXPECT_FALSE(t.contains(""));
+}
+
+TEST(Trie, EmptyInsertIgnored) {
+  Trie t;
+  EXPECT_FALSE(t.insert(""));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Trie, LongestPrefixPicksLongestTerminal) {
+  Trie t;
+  t.insert("123");
+  t.insert("123qwe");
+  t.insert("123qwe123qwe");
+  EXPECT_EQ(t.longestPrefix("123qwe123qwe"), 12u);
+  EXPECT_EQ(t.longestPrefix("123qwe123"), 6u);
+  EXPECT_EQ(t.longestPrefix("123qw"), 3u);
+  EXPECT_EQ(t.longestPrefix("12"), 0u);
+  EXPECT_EQ(t.longestPrefix("xyz"), 0u);
+}
+
+TEST(Trie, LongestPrefixWithOffset) {
+  Trie t;
+  t.insert("qwe");
+  EXPECT_EQ(t.longestPrefix("123qwe", 3), 3u);
+  EXPECT_EQ(t.longestPrefix("123qwe", 0), 0u);
+  EXPECT_EQ(t.longestPrefix("123qwe", 6), 0u);
+}
+
+TEST(Trie, ChildTraversal) {
+  Trie t;
+  t.insert("ab");
+  auto a = t.child(Trie::kRoot, 'a');
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(t.isTerminal(*a));
+  auto b = t.child(*a, 'b');
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(t.isTerminal(*b));
+  EXPECT_FALSE(t.child(Trie::kRoot, 'z').has_value());
+}
+
+TEST(Trie, HandlesFullPrintableAlphabet) {
+  Trie t;
+  std::vector<std::string> words;
+  for (int c = 0x20; c <= 0x7e; ++c) {
+    words.push_back(std::string(3, static_cast<char>(c)));
+    t.insert(words.back());
+  }
+  for (const auto& w : words) EXPECT_TRUE(t.contains(w)) << w;
+  EXPECT_EQ(t.size(), 95u);
+}
+
+// Property test: trie membership agrees with a sorted vector reference
+// implementation on random word sets.
+class TrieRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieRandomized, MatchesReferenceSet) {
+  Rng rng(GetParam());
+  Trie t;
+  std::vector<std::string> reference;
+  const char alphabet[] = "abc12@";
+  for (int i = 0; i < 400; ++i) {
+    std::string w;
+    const auto len = 1 + rng.below(8);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      w.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    t.insert(w);
+    reference.push_back(w);
+  }
+  std::sort(reference.begin(), reference.end());
+  reference.erase(std::unique(reference.begin(), reference.end()),
+                  reference.end());
+  EXPECT_EQ(t.size(), reference.size());
+  for (const auto& w : reference) EXPECT_TRUE(t.contains(w));
+
+  // Random probes: contains() must agree with the reference set.
+  for (int i = 0; i < 500; ++i) {
+    std::string w;
+    const auto len = 1 + rng.below(8);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      w.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+    }
+    const bool inRef =
+        std::binary_search(reference.begin(), reference.end(), w);
+    EXPECT_EQ(t.contains(w), inRef) << w;
+  }
+
+  // longestPrefix must return a contained prefix and no longer one exists.
+  for (const auto& w : reference) {
+    const std::string probe = w + "!!";
+    const std::size_t lp = t.longestPrefix(probe);
+    ASSERT_GT(lp, 0u);
+    EXPECT_TRUE(t.contains(probe.substr(0, lp)));
+    for (std::size_t longer = lp + 1; longer <= probe.size(); ++longer) {
+      EXPECT_FALSE(t.contains(probe.substr(0, longer)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieRandomized,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace fpsm

@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/chars.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/wordlists.h"
+
+namespace fpsm {
+namespace {
+
+// ---------------------------------------------------------------------- chars
+
+TEST(Chars, ClassOfCoversAllPrintable) {
+  int lower = 0, upper = 0, digit = 0, symbol = 0;
+  for (int c = 0x20; c <= 0x7e; ++c) {
+    switch (classOf(static_cast<char>(c))) {
+      case CharClass::Lower: ++lower; break;
+      case CharClass::Upper: ++upper; break;
+      case CharClass::Digit: ++digit; break;
+      case CharClass::Symbol: ++symbol; break;
+      case CharClass::Other: FAIL() << "printable char classed Other: " << c;
+    }
+  }
+  EXPECT_EQ(lower, 26);
+  EXPECT_EQ(upper, 26);
+  EXPECT_EQ(digit, 10);
+  EXPECT_EQ(symbol, 95 - 26 - 26 - 10);
+}
+
+TEST(Chars, NonPrintableIsOther) {
+  EXPECT_EQ(classOf('\t'), CharClass::Other);
+  EXPECT_EQ(classOf('\x1f'), CharClass::Other);
+  EXPECT_EQ(classOf('\x7f'), CharClass::Other);
+}
+
+TEST(Chars, SegmentClassFoldsCase) {
+  EXPECT_EQ(segmentClassOf('a'), SegmentClass::Letter);
+  EXPECT_EQ(segmentClassOf('Z'), SegmentClass::Letter);
+  EXPECT_EQ(segmentClassOf('7'), SegmentClass::Digit);
+  EXPECT_EQ(segmentClassOf('@'), SegmentClass::Symbol);
+}
+
+TEST(Chars, CaseConversion) {
+  EXPECT_EQ(toLower('A'), 'a');
+  EXPECT_EQ(toLower('a'), 'a');
+  EXPECT_EQ(toLower('1'), '1');
+  EXPECT_EQ(toUpper('z'), 'Z');
+  EXPECT_EQ(toLowerCopy("PassWord1!"), "password1!");
+}
+
+TEST(Chars, LeetRuleIndicesMatchPaperOrder) {
+  // Table VI order: L1 a@, L2 s$, L3 o0, L4 i1, L5 e3, L6 t7.
+  EXPECT_EQ(leetRuleOf('a'), 0);
+  EXPECT_EQ(leetRuleOf('@'), 0);
+  EXPECT_EQ(leetRuleOf('s'), 1);
+  EXPECT_EQ(leetRuleOf('$'), 1);
+  EXPECT_EQ(leetRuleOf('o'), 2);
+  EXPECT_EQ(leetRuleOf('0'), 2);
+  EXPECT_EQ(leetRuleOf('i'), 3);
+  EXPECT_EQ(leetRuleOf('1'), 3);
+  EXPECT_EQ(leetRuleOf('e'), 4);
+  EXPECT_EQ(leetRuleOf('3'), 4);
+  EXPECT_EQ(leetRuleOf('t'), 5);
+  EXPECT_EQ(leetRuleOf('7'), 5);
+  EXPECT_FALSE(leetRuleOf('b').has_value());
+  EXPECT_FALSE(leetRuleOf('9').has_value());
+}
+
+TEST(Chars, LeetRuleUpperCaseLetters) {
+  EXPECT_EQ(leetRuleOf('A'), 0);
+  EXPECT_EQ(leetRuleOf('S'), 1);
+  EXPECT_EQ(leetPartner('A'), '@');
+}
+
+TEST(Chars, LeetPartnerIsInvolutionOnLowercase) {
+  for (const auto& r : kLeetRules) {
+    EXPECT_EQ(leetPartner(r.letter), r.sub);
+    EXPECT_EQ(leetPartner(r.sub), r.letter);
+  }
+}
+
+TEST(Chars, PasswordValidation) {
+  EXPECT_TRUE(isValidPassword("p@ssw0rd!"));
+  EXPECT_FALSE(isValidPassword(""));
+  EXPECT_FALSE(isValidPassword(std::string("ab\x01" "cd", 5)));
+  EXPECT_NO_THROW(validatePassword("hello"));
+  EXPECT_THROW(validatePassword(""), InvalidArgument);
+  EXPECT_THROW(validatePassword("a\tb"), InvalidArgument);
+}
+
+// ----------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a(), b());
+  Rng a2(42);
+  std::vector<std::uint64_t> s1, s2;
+  for (int i = 0; i < 16; ++i) s1.push_back(a2());
+  Rng b2(42);
+  for (int i = 0; i < 16; ++i) s2.push_back(b2());
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(a(), c());
+}
+
+TEST(Rng, BelowInRangeAndRoughlyUniform) {
+  Rng rng(7);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    ++buckets[v];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kDraws / 10, kDraws / 100);
+  }
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // Child should not replay the parent stream.
+  Rng b(5);
+  (void)b();  // advance past the fork draw
+  EXPECT_NE(child(), b());
+}
+
+TEST(SampleDiscrete, RespectsWeights) {
+  Rng rng(3);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 40000; ++i) ++hits[sampleDiscrete(rng, w)];
+  EXPECT_EQ(hits[1], 0);
+  EXPECT_NEAR(hits[0] / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(hits[2] / 40000.0, 0.75, 0.02);
+}
+
+TEST(SampleDiscrete, RejectsDegenerate) {
+  Rng rng(3);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(sampleDiscrete(rng, zero), InvalidArgument);
+  const std::vector<double> neg = {1.0, -1.0};
+  EXPECT_THROW(sampleDiscrete(rng, neg), InvalidArgument);
+}
+
+TEST(DiscreteSampler, MatchesDirectSampling) {
+  Rng rng(9);
+  const std::vector<double> w = {5.0, 1.0, 4.0};
+  DiscreteSampler sampler(w);
+  std::array<int, 3> hits{};
+  for (int i = 0; i < 50000; ++i) ++hits[sampler(rng)];
+  EXPECT_NEAR(hits[0] / 50000.0, 0.5, 0.02);
+  EXPECT_NEAR(hits[1] / 50000.0, 0.1, 0.02);
+  EXPECT_NEAR(hits[2] / 50000.0, 0.4, 0.02);
+}
+
+TEST(DiscreteSampler, RejectsEmpty) {
+  const std::vector<double> none;
+  EXPECT_THROW(DiscreteSampler{none}, InvalidArgument);
+}
+
+// -------------------------------------------------------------------- format
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(fmtDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(fmtDouble(1.0, 2), "1.00");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmtPercent(0.1234), "12.34%");
+  EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Format, CountsWithSeparators) {
+  EXPECT_EQ(fmtCount(0), "0");
+  EXPECT_EQ(fmtCount(999), "999");
+  EXPECT_EQ(fmtCount(1000), "1,000");
+  EXPECT_EQ(fmtCount(30901241), "30,901,241");
+}
+
+TEST(Format, TextTableAlignsAndValidates) {
+  TextTable t({"Name", "Count"});
+  t.addRow({"abc", "1,234"});
+  EXPECT_THROW(t.addRow({"too", "many", "cells"}), InvalidArgument);
+  const std::string r = t.render();
+  EXPECT_NE(r.find("Name"), std::string::npos);
+  EXPECT_NE(r.find("1,234"), std::string::npos);
+  EXPECT_NE(r.find("---"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------- hash
+
+// ------------------------------------------------------------------ parallel
+
+TEST(Parallel, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 50000;
+  std::vector<int> hits(kN, 0);
+  parallelFor(kN, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(Parallel, SmallInputsRunInline) {
+  std::atomic<int> count{0};
+  parallelFor(5, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 5);
+  parallelFor(0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallelFor(20000,
+                  [](std::size_t i) {
+                    if (i == 12345) throw InvalidArgument("boom");
+                  }),
+      InvalidArgument);
+}
+
+TEST(Parallel, WorkerCountBounds) {
+  EXPECT_EQ(parallelWorkerCount(10), 1u);        // tiny input: inline
+  EXPECT_GE(parallelWorkerCount(1 << 20), 1u);   // large input: >= 1
+  EXPECT_EQ(parallelWorkerCount(1 << 20, 3), 3u);
+}
+
+// ---------------------------------------------------------------- wordlists
+
+TEST(Wordlists, NonEmptyAndValid) {
+  for (const auto list :
+       {words::commonPasswords(), words::chineseCommonPasswords(),
+        words::englishWords(), words::englishNames(),
+        words::pinyinSyllables(), words::pinyinWords(),
+        words::keyboardWalks(), words::digitStrings(),
+        words::westernDigitStrings(), words::chineseDigitStrings()}) {
+    ASSERT_GT(list.size(), 20u);
+    for (const auto w : list) {
+      EXPECT_TRUE(isValidPassword(w)) << w;
+    }
+  }
+}
+
+TEST(Wordlists, HeadsMatchTheLeaks) {
+  // Rank 1 everywhere is 123456 (Table VIII).
+  EXPECT_EQ(words::commonPasswords()[0], "123456");
+  EXPECT_EQ(words::chineseCommonPasswords()[0], "123456");
+  // The union digit list covers both cultures.
+  const auto all = words::digitStrings();
+  EXPECT_NE(std::find(all.begin(), all.end(), "5201314"), all.end());
+  EXPECT_NE(std::find(all.begin(), all.end(), "696969"), all.end());
+}
+
+TEST(Hash, TransparentLookup) {
+  StringMap<int> m;
+  m["hello"] = 1;
+  const std::string_view key = "hello";
+  EXPECT_NE(m.find(key), m.end());
+  EXPECT_EQ(m.find(std::string_view("nope")), m.end());
+  StringSet s;
+  s.insert("x");
+  EXPECT_TRUE(s.contains(std::string_view("x")));
+}
+
+}  // namespace
+}  // namespace fpsm

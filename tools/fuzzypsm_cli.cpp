@@ -1,0 +1,245 @@
+// fuzzypsm — command-line front end to the library.
+//
+//   fuzzypsm train --base BASE.txt --training TRAIN.txt --out GRAMMAR
+//            [--reverse] [--prior P] [--min-base-len N]
+//       Train a fuzzy PCFG from two password files (lines: "pw" or
+//       "pw<TAB>count") and serialize it.
+//
+//   fuzzypsm measure --grammar GRAMMAR [PW...]
+//       Score passwords (args, or stdin lines when none given): bits,
+//       bucket, Monte Carlo guess number.
+//
+//   fuzzypsm suggest --grammar GRAMMAR --target BITS PW...
+//       Propose stronger variants within 2 edits (H&A-style).
+//
+//   fuzzypsm explain --grammar GRAMMAR PW...
+//       Print the full Fig.-11-style derivation of each password.
+//
+//   fuzzypsm guesses --grammar GRAMMAR --n N
+//       Emit the model's top-N guesses in decreasing probability order
+//       (the "meters are crackers" duality, paper footnote 6).
+//
+//   fuzzypsm generate --service NAME --scale S --seed N --out FILE.txt
+//       Write a synthetic leak for one of the paper's 11 services.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explain.h"
+#include "core/fuzzy_psm.h"
+#include "core/suggest.h"
+#include "corpus/io.h"
+#include "model/buckets.h"
+#include "model/montecarlo.h"
+#include "synth/generator.h"
+#include "util/error.h"
+#include "util/format.h"
+
+using namespace fpsm;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::vector<std::string> positional;
+  StringMap<std::string> options;
+  StringSet flags;
+
+  bool flag(const std::string& name) const { return flags.contains(name); }
+  std::string option(const std::string& name,
+                     const std::string& fallback = "") const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::string requiredOption(const std::string& name) const {
+    const auto it = options.find(name);
+    if (it == options.end()) {
+      throw InvalidArgument("missing required option --" + name);
+    }
+    return it->second;
+  }
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args args;
+  if (argc < 2) throw InvalidArgument("no command given");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string name(a.substr(2));
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options.emplace(name, argv[++i]);
+      } else {
+        args.flags.insert(name);
+      }
+    } else {
+      args.positional.emplace_back(a);
+    }
+  }
+  return args;
+}
+
+Dataset loadFile(const std::string& path, const char* what) {
+  Dataset ds(path);
+  const LoadStats stats = loadDatasetFile(path, ds);
+  std::fprintf(stderr, "%s: %s passwords (%s rejected)\n", what,
+               fmtCount(stats.accepted).c_str(),
+               fmtCount(stats.rejected).c_str());
+  return ds;
+}
+
+FuzzyPsm loadGrammar(const Args& args) {
+  const std::string path = args.requiredOption("grammar");
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open grammar: " + path);
+  return FuzzyPsm::load(in);
+}
+
+int cmdTrain(const Args& args) {
+  FuzzyConfig config;
+  config.matchReverse = args.flag("reverse");
+  if (const auto p = args.option("prior"); !p.empty()) {
+    config.transformationPrior = std::stod(p);
+  }
+  if (const auto m = args.option("min-base-len"); !m.empty()) {
+    config.minBaseWordLen = std::stoul(m);
+  }
+  FuzzyPsm psm(config);
+  psm.loadBaseDictionary(loadFile(args.requiredOption("base"), "base"));
+  psm.train(loadFile(args.requiredOption("training"), "training"));
+
+  const std::string out = args.requiredOption("out");
+  std::ofstream os(out);
+  if (!os) throw IoError("cannot write grammar: " + out);
+  psm.save(os);
+  std::fprintf(stderr,
+               "grammar written to %s (%s base words, %s structures)\n",
+               out.c_str(), fmtCount(psm.baseDictionary().size()).c_str(),
+               fmtCount(psm.structures().distinct()).c_str());
+  return 0;
+}
+
+int cmdMeasure(const Args& args) {
+  const FuzzyPsm psm = loadGrammar(args);
+  Rng rng(std::stoull(args.option("seed", "7")));
+  const std::size_t samples = std::stoul(args.option("samples", "20000"));
+  const MonteCarloEstimator mc(psm, samples, rng);
+  const BucketThresholds buckets;
+
+  auto measure = [&](const std::string& pw) {
+    if (!isValidPassword(pw)) {
+      std::printf("%-24s  <invalid password>\n", pw.c_str());
+      return;
+    }
+    const double bits = psm.strengthBits(pw);
+    const double guesses = mc.guessNumber(psm.log2Prob(pw));
+    std::printf("%-24s %8.2f bits  %-6s  ~%s guesses\n", pw.c_str(), bits,
+                std::string(bucketName(buckets.bucketOf(bits))).c_str(),
+                guesses >= 1e15
+                    ? ">1e15"
+                    : fmtCount(static_cast<std::uint64_t>(guesses)).c_str());
+  };
+
+  if (args.positional.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) measure(line);
+    }
+  } else {
+    for (const auto& pw : args.positional) measure(pw);
+  }
+  return 0;
+}
+
+int cmdSuggest(const Args& args) {
+  const FuzzyPsm psm = loadGrammar(args);
+  Rng rng(std::stoull(args.option("seed", "7")));
+  SuggestionConfig config;
+  config.targetBits = std::stod(args.option("target", "40"));
+  for (const auto& pw : args.positional) {
+    const auto s = suggestStrongerPassword(psm, pw, config, rng);
+    if (s) {
+      std::printf("%-24s -> %-24s (%.1f bits, %d edit%s)\n", pw.c_str(),
+                  s->password.c_str(), s->bits, s->edits,
+                  s->edits == 1 ? "" : "s");
+    } else {
+      std::printf("%-24s -> no suggestion within %d edits\n", pw.c_str(),
+                  config.maxEdits);
+    }
+  }
+  return 0;
+}
+
+int cmdExplain(const Args& args) {
+  const FuzzyPsm psm = loadGrammar(args);
+  for (const auto& pw : args.positional) {
+    if (!isValidPassword(pw)) {
+      std::printf("%s: <invalid password>\n", pw.c_str());
+      continue;
+    }
+    std::printf("%s:\n%s", pw.c_str(),
+                explainDerivation(psm, pw).render().c_str());
+  }
+  return 0;
+}
+
+int cmdGuesses(const Args& args) {
+  const FuzzyPsm psm = loadGrammar(args);
+  const std::uint64_t n = std::stoull(args.option("n", "100"));
+  psm.enumerateGuesses(n, [](std::string_view guess, double lp) {
+    std::printf("%s\t%.3f\n", std::string(guess).c_str(), lp);
+    return true;
+  });
+  return 0;
+}
+
+int cmdGenerate(const Args& args) {
+  const double scale = std::stod(args.option("scale", "0.004"));
+  const std::uint64_t seed = std::stoull(args.option("seed", "1"));
+  const auto profile =
+      ServiceProfile::byName(args.requiredOption("service"), scale);
+  PopulationModel population(100000, 100000, seed);
+  DatasetGenerator generator(population, SurveyModel::paper(), seed ^ 0xABCD);
+  const Dataset ds = generator.generate(profile);
+  const std::string out = args.requiredOption("out");
+  saveDatasetFile(ds, out);
+  std::fprintf(stderr, "%s: %s passwords (%s distinct) -> %s\n",
+               profile.name.c_str(), fmtCount(ds.total()).c_str(),
+               fmtCount(ds.unique()).c_str(), out.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fuzzypsm <train|measure|suggest|explain|guesses|generate> "
+               "[options]\n"
+               "see the header of tools/fuzzypsm_cli.cpp for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const Args args = parseArgs(argc, argv);
+    if (args.command == "train") return cmdTrain(args);
+    if (args.command == "measure") return cmdMeasure(args);
+    if (args.command == "suggest") return cmdSuggest(args);
+    if (args.command == "explain") return cmdExplain(args);
+    if (args.command == "guesses") return cmdGuesses(args);
+    if (args.command == "generate") return cmdGenerate(args);
+    return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
