@@ -170,6 +170,14 @@ double FuzzyPsm::log2Prob(std::string_view pw) const {
   return derivationLog2Prob(parse(pw));
 }
 
+void FuzzyPsm::warmCaches() const {
+  (void)structures_.sortedDesc();
+  for (const auto& [len, table] : segments_) {
+    (void)len;
+    (void)table.sortedDesc();
+  }
+}
+
 std::string FuzzyPsm::sample(Rng& rng) const {
   if (!trained()) throw NotTrained("FuzzyPsm: not trained");
   // Sample a derivation, render it, and accept only when the rendered
@@ -397,8 +405,19 @@ void FuzzyPsm::save(std::ostream& out) const {
   for (const auto& item : structures_.sortedDesc()) {
     out << item.form << '\t' << item.count << '\n';
   }
-  out << "tables\t" << segments_.size() << '\n';
+  // Emit tables in ascending length order: the hash map's iteration order
+  // depends on insertion history, and save() must be a pure function of the
+  // grammar so that save -> load -> save round-trips byte-identically.
+  std::vector<std::size_t> lengths;
+  lengths.reserve(segments_.size());
   for (const auto& [len, table] : segments_) {
+    (void)table;
+    lengths.push_back(len);
+  }
+  std::sort(lengths.begin(), lengths.end());
+  out << "tables\t" << segments_.size() << '\n';
+  for (const std::size_t len : lengths) {
+    const SegmentTable& table = segments_.at(len);
     out << "table\t" << len << '\t' << table.distinct() << '\n';
     for (const auto& item : table.sortedDesc()) {
       out << item.form << '\t' << item.count << '\n';

@@ -1,0 +1,20 @@
+#include "serve/grammar_snapshot.h"
+
+#include <utility>
+
+namespace fpsm {
+
+GrammarSnapshot::GrammarSnapshot(FuzzyPsm grammar, std::uint64_t generation)
+    : grammar_(std::move(grammar)), generation_(generation) {
+  grammar_.warmCaches();
+}
+
+std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::freeze(
+    const FuzzyPsm& grammar, std::uint64_t generation) {
+  // Not make_shared: the constructor is private, and a standalone control
+  // block keeps the (large) grammar deallocatable independent of weak refs.
+  return std::shared_ptr<const GrammarSnapshot>(
+      new GrammarSnapshot(grammar, generation));
+}
+
+}  // namespace fpsm

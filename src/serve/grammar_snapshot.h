@@ -1,0 +1,56 @@
+// Immutable, generation-stamped view of a trained fuzzy grammar.
+//
+// A snapshot is a frozen deep copy of a FuzzyPsm: structures, segment
+// tables, transformation counters, and the base-dictionary tries. Freezing
+// warms every lazily-built cache inside the grammar (FuzzyPsm::warmCaches),
+// after which every scoring entry point is physically read-only — so one
+// snapshot can be scored by any number of threads with no locking at all.
+// This is the ownership model Chromium uses for zxcvbn's frequency lists:
+// build read-optimized data once, hand `const` access to the hot path.
+//
+// Snapshots are published to readers through an RcuPtr (util/rcu_ptr.h)
+// inside MeterService; the generation number orders publishes and keys the
+// score cache so a cached score can never outlive the grammar it was
+// computed from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/fuzzy_psm.h"
+
+namespace fpsm {
+
+class GrammarSnapshot {
+ public:
+  /// Freezes a copy of `grammar` stamped with `generation`. The copy's
+  /// caches are warmed eagerly so all subsequent const access is read-only.
+  static std::shared_ptr<const GrammarSnapshot> freeze(
+      const FuzzyPsm& grammar, std::uint64_t generation);
+
+  /// Monotonic publish counter: 0 for the initial snapshot, +1 per publish.
+  std::uint64_t generation() const { return generation_; }
+
+  // Synchronization-free scoring surface (safe from any number of threads).
+  double log2Prob(std::string_view pw) const { return grammar_.log2Prob(pw); }
+  double strengthBits(std::string_view pw) const {
+    return grammar_.strengthBits(pw);
+  }
+  FuzzyParse parse(std::string_view pw) const { return grammar_.parse(pw); }
+  bool trained() const { return grammar_.trained(); }
+  std::uint64_t trainedPasswords() const { return grammar_.trainedPasswords(); }
+
+  /// Read-only access to the full grammar (introspection, enumeration).
+  /// Const methods only — the snapshot's immutability is the thread-safety
+  /// contract.
+  const FuzzyPsm& grammar() const { return grammar_; }
+
+ private:
+  GrammarSnapshot(FuzzyPsm grammar, std::uint64_t generation);
+
+  FuzzyPsm grammar_;
+  std::uint64_t generation_;
+};
+
+}  // namespace fpsm

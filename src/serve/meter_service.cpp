@@ -1,0 +1,119 @@
+#include "serve/meter_service.h"
+
+#include <utility>
+
+#include "util/chars.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace fpsm {
+
+MeterService::MeterService(FuzzyPsm grammar, MeterServiceConfig config)
+    : config_(config),
+      master_(std::move(grammar)),
+      cache_(config.cacheCapacity == 0 ? 1 : config.cacheCapacity,
+             config.cacheShards) {
+  if (!master_.trained()) {
+    throw NotTrained("MeterService: grammar must be trained before serving");
+  }
+  current_.store(GrammarSnapshot::freeze(master_, 0));
+  if (config_.backgroundPublisher) {
+    publisher_ = std::thread([this] { publisherLoop(); });
+  }
+}
+
+MeterService::~MeterService() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.wake();
+  if (publisher_.joinable()) publisher_.join();
+}
+
+MeterService::Score MeterService::score(std::string_view pw) const {
+  scoreCount_.fetch_add(1, std::memory_order_relaxed);
+  const auto snap = current_.load();
+  const std::uint64_t gen = snap->generation();
+  if (config_.cacheCapacity > 0) {
+    if (const auto hit = cache_.lookup(gen, pw)) {
+      return Score{*hit, gen, true};
+    }
+  }
+  const double bits = snap->strengthBits(pw);
+  if (config_.cacheCapacity > 0) {
+    cache_.insert(gen, pw, bits);
+  }
+  return Score{bits, gen, false};
+}
+
+std::vector<MeterService::Score> MeterService::scoreBatch(
+    const std::vector<std::string>& pws, unsigned requestedThreads) const {
+  scoreCount_.fetch_add(pws.size(), std::memory_order_relaxed);
+  // One snapshot for the whole batch: every result shares a generation, so
+  // a publish landing mid-batch cannot mix two grammars in one response.
+  const auto snap = current_.load();
+  const std::uint64_t gen = snap->generation();
+  std::vector<Score> out(pws.size());
+  parallelFor(
+      pws.size(),
+      [&](std::size_t i) {
+        if (config_.cacheCapacity > 0) {
+          if (const auto hit = cache_.lookup(gen, pws[i])) {
+            out[i] = Score{*hit, gen, true};
+            return;
+          }
+        }
+        const double bits = snap->strengthBits(pws[i]);
+        if (config_.cacheCapacity > 0) {
+          cache_.insert(gen, pws[i], bits);
+        }
+        out[i] = Score{bits, gen, false};
+      },
+      requestedThreads);
+  return out;
+}
+
+void MeterService::update(std::string_view pw, std::uint64_t n) {
+  if (n == 0) return;
+  validatePassword(pw);
+  updateCount_.fetch_add(n, std::memory_order_relaxed);
+  queue_.push(pw, n);
+}
+
+std::uint64_t MeterService::applyAndPublishLocked(
+    const UpdateQueue::Batch& batch) {
+  for (const auto& [pw, n] : batch) {
+    master_.update(pw, n);
+  }
+  const std::uint64_t gen = nextGeneration_++;
+  current_.store(GrammarSnapshot::freeze(master_, gen));
+  publishCount_.fetch_add(1, std::memory_order_relaxed);
+  return gen;
+}
+
+std::uint64_t MeterService::publishNow() {
+  const std::lock_guard<std::mutex> lock(masterMutex_);
+  const UpdateQueue::Batch batch = queue_.drain();
+  if (batch.empty()) return current_.load()->generation();
+  return applyAndPublishLocked(batch);
+}
+
+void MeterService::publisherLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const bool pending =
+        queue_.waitFor(config_.publishInterval, config_.maxPendingUpdates);
+    if (!pending) continue;
+    const std::lock_guard<std::mutex> lock(masterMutex_);
+    const UpdateQueue::Batch batch = queue_.drain();
+    if (!batch.empty()) applyAndPublishLocked(batch);
+  }
+}
+
+MeterService::Stats MeterService::stats() const {
+  Stats s;
+  s.scores = scoreCount_.load(std::memory_order_relaxed);
+  s.updates = updateCount_.load(std::memory_order_relaxed);
+  s.publishes = publishCount_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace fpsm

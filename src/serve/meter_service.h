@@ -1,0 +1,161 @@
+// Concurrent meter service: wait-free-in-practice scoring over immutable
+// grammar snapshots with a batched, asynchronous update phase.
+//
+// The paper's fuzzyPSM is adaptive — accepted passwords are folded back
+// into the grammar (Sec. IV-C) — but a single mutable FuzzyPsm cannot be
+// scored and updated concurrently. MeterService splits the two roles:
+//
+//   readers   score()/scoreBatch() pin the current GrammarSnapshot via an
+//             RcuPtr (a shared_ptr copy under a pointer-sized critical
+//             section), consult a generation-keyed LRU cache for hot
+//             passwords, and then score with no synchronization at all;
+//   writer    update() appends to an UpdateQueue; a publisher (background
+//             thread, or explicit publishNow() calls when
+//             backgroundPublisher is off) drains the queue, folds the
+//             batch into the master grammar under a private mutex,
+//             freezes a fresh snapshot, and publishes it with one pointer
+//             swap. In-flight readers finish on the old snapshot; its
+//             memory is reclaimed when the last of them drops its
+//             reference (RCU lifetime rule).
+//
+// Guarantees:
+//   * Every score is computed against exactly one published snapshot; the
+//     reported generation identifies which.
+//   * A cached score is served only under the generation it was computed
+//     from (ScoreCache evicts on mismatch), so a publish atomically
+//     invalidates the cache.
+//   * update() never loses occurrences: batches are either pending in the
+//     queue or folded into the master grammar.
+//
+// The cost relative to the paper's immediate-fold semantics is bounded
+// staleness: an accepted password influences scores only after the next
+// publish (at most publishInterval later, sooner under backlog pressure).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/grammar_snapshot.h"
+#include "serve/score_cache.h"
+#include "serve/update_queue.h"
+#include "util/rcu_ptr.h"
+
+namespace fpsm {
+
+struct MeterServiceConfig {
+  /// Total score-cache entries (0 disables the cache).
+  std::size_t cacheCapacity = 4096;
+  /// Cache shards (lock striping for reader parallelism).
+  std::size_t cacheShards = 8;
+  /// Publisher pacing: a snapshot rebuild is attempted at most this often
+  /// under light update traffic.
+  std::chrono::milliseconds publishInterval{50};
+  /// Backlog bound: the publisher wakes early once this many pending
+  /// occurrences have accumulated.
+  std::uint64_t maxPendingUpdates = 1 << 14;
+  /// Run the publisher on a background thread. Off = deterministic mode:
+  /// snapshots change only on explicit publishNow() (tests, benchmarks).
+  bool backgroundPublisher = true;
+};
+
+class MeterService {
+ public:
+  struct Score {
+    double bits;                ///< strength in bits (-log2 probability)
+    std::uint64_t generation;   ///< snapshot the score was computed against
+    bool fromCache;             ///< served from the hot-password cache
+  };
+
+  struct Stats {
+    std::uint64_t scores = 0;       ///< score() calls served
+    std::uint64_t updates = 0;      ///< occurrences accepted via update()
+    std::uint64_t publishes = 0;    ///< snapshots published after gen 0
+    ScoreCache::Stats cache;
+  };
+
+  /// Takes ownership of a trained grammar and publishes it as generation 0.
+  /// Throws NotTrained if the grammar has no counts.
+  explicit MeterService(FuzzyPsm grammar, MeterServiceConfig config = {});
+
+  /// Stops the background publisher. Pending queued updates that were
+  /// never published are discarded (call publishNow() first to flush).
+  ~MeterService();
+
+  MeterService(const MeterService&) = delete;
+  MeterService& operator=(const MeterService&) = delete;
+
+  /// Scores one password against the current snapshot. Scoring itself is
+  /// synchronization-free; the only locks touched are the RcuPtr's
+  /// pointer-copy critical section and one cache shard's mutex.
+  Score score(std::string_view pw) const;
+
+  /// Convenience: score().bits.
+  double strengthBits(std::string_view pw) const { return score(pw).bits; }
+
+  /// Scores a batch against ONE consistent snapshot (all results share a
+  /// generation), fanning out over util/parallel.h. `requestedThreads`
+  /// follows parallelFor semantics (0 = auto).
+  std::vector<Score> scoreBatch(const std::vector<std::string>& pws,
+                                unsigned requestedThreads = 0) const;
+
+  /// The update phase: enqueues n occurrences of an accepted password for
+  /// the next publish. Cheap (one mutex-protected hash-map bump); never
+  /// rebuilds inline. Throws InvalidArgument on invalid passwords so the
+  /// error surfaces on the caller's thread, not the publisher's.
+  void update(std::string_view pw, std::uint64_t n = 1);
+
+  /// Synchronously drains the queue and, if anything was pending, folds it
+  /// into the master grammar and publishes a new snapshot. Returns the
+  /// generation current after the call. Serialized with the background
+  /// publisher; safe to call concurrently with readers.
+  std::uint64_t publishNow();
+
+  /// Current snapshot (pin it for consistent multi-call scoring).
+  std::shared_ptr<const GrammarSnapshot> snapshot() const {
+    return current_.load();
+  }
+
+  /// Generation of the current snapshot.
+  std::uint64_t generation() const { return snapshot()->generation(); }
+
+  std::uint64_t pendingUpdates() const { return queue_.pendingTotal(); }
+
+  Stats stats() const;
+
+ private:
+  void publisherLoop();
+  /// Folds a drained batch into master_ and publishes. Caller holds
+  /// masterMutex_.
+  std::uint64_t applyAndPublishLocked(const UpdateQueue::Batch& batch);
+
+  MeterServiceConfig config_;
+
+  // Writer side. master_ is the only mutable grammar; it is touched solely
+  // under masterMutex_ and copied (then frozen) to produce snapshots.
+  mutable std::mutex masterMutex_;
+  FuzzyPsm master_;
+  std::uint64_t nextGeneration_ = 1;
+
+  // Reader side.
+  RcuPtr<GrammarSnapshot> current_;
+  mutable ScoreCache cache_;
+
+  // Update pipeline.
+  mutable UpdateQueue queue_;
+  std::atomic<bool> stopping_{false};
+  std::thread publisher_;
+
+  // Counters (relaxed; monitoring only).
+  mutable std::atomic<std::uint64_t> scoreCount_{0};
+  std::atomic<std::uint64_t> updateCount_{0};
+  std::atomic<std::uint64_t> publishCount_{0};
+};
+
+}  // namespace fpsm

@@ -1,0 +1,84 @@
+#include "serve/score_cache.h"
+
+#include <algorithm>
+
+namespace fpsm {
+
+ScoreCache::ScoreCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t nShards = std::max<std::size_t>(shards, 1);
+  perShardCapacity_ =
+      std::max<std::size_t>((capacity + nShards - 1) / nShards, 1);
+  shards_.reserve(nShards);
+  for (std::size_t i = 0; i < nShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ScoreCache::Shard& ScoreCache::shardFor(std::string_view pw) const {
+  return *shards_[StringHash{}(pw) % shards_.size()];
+}
+
+std::optional<double> ScoreCache::lookup(std::uint64_t generation,
+                                         std::string_view pw) const {
+  Shard& shard = shardFor(pw);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(pw);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  if (it->second->generation != generation) {
+    // Stale: computed under a retired snapshot. Evict rather than serve —
+    // the caller will recompute under its own generation and re-insert.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stats.misses;
+    ++shard.stats.staleEvictions;
+    return std::nullopt;
+  }
+  // Refresh recency: splice the entry to the front of the LRU list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  return it->second->bits;
+}
+
+void ScoreCache::insert(std::uint64_t generation, std::string_view pw,
+                        double bits) {
+  Shard& shard = shardFor(pw);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(pw);
+  if (it != shard.index.end()) {
+    it->second->generation = generation;
+    it->second->bits = bits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= perShardCapacity_) {
+    shard.index.erase(shard.lru.back().password);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Entry{std::string(pw), generation, bits});
+  shard.index.emplace(shard.lru.front().password, shard.lru.begin());
+}
+
+std::size_t ScoreCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+ScoreCache::Stats ScoreCache::stats() const {
+  Stats total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.staleEvictions += shard->stats.staleEvictions;
+  }
+  return total;
+}
+
+}  // namespace fpsm

@@ -1,0 +1,81 @@
+// Sharded LRU cache for scores of hot passwords.
+//
+// Password popularity is Zipf-shaped (the entire premise of the ideal
+// meter), so a small cache in front of the fuzzy parse absorbs a large
+// fraction of registration traffic. Entries are keyed on the password and
+// stamped with the snapshot generation they were computed from; a lookup
+// under a different generation is a miss and evicts the stale entry, which
+// makes publish() an implicit whole-cache invalidation without any
+// cross-shard coordination — the cache can never serve a score computed
+// under a retired grammar.
+//
+// Sharding by password hash keeps lock hold times short and lets readers
+// on different shards proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace fpsm {
+
+class ScoreCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t staleEvictions = 0;
+    double hitRate() const {
+      const double total = static_cast<double>(hits + misses);
+      return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `capacity` is the total entry budget across all shards (min 1 per
+  /// shard); `shards` is rounded up to at least 1.
+  explicit ScoreCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Score of pw cached under exactly `generation`, or nullopt. A hit
+  /// refreshes recency; a generation mismatch evicts the stale entry and
+  /// reports a miss.
+  std::optional<double> lookup(std::uint64_t generation,
+                               std::string_view pw) const;
+
+  /// Caches `bits` for pw under `generation`, evicting the least recently
+  /// used entry of the shard when full. An existing entry for pw is
+  /// overwritten (newer generation wins).
+  void insert(std::uint64_t generation, std::string_view pw, double bits);
+
+  /// Current number of resident entries (approximate under concurrency).
+  std::size_t size() const;
+
+  /// Aggregated counters across shards (approximate under concurrency).
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string password;
+    std::uint64_t generation;
+    double bits;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  // front = most recent
+    StringMap<std::list<Entry>::iterator> index;
+    mutable Stats stats;
+  };
+
+  Shard& shardFor(std::string_view pw) const;
+
+  std::size_t perShardCapacity_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fpsm

@@ -1,0 +1,53 @@
+#include "serve/update_queue.h"
+
+namespace fpsm {
+
+void UpdateQueue::push(std::string_view pw, std::uint64_t n) {
+  if (n == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(pw);
+    if (it == pending_.end()) {
+      pending_.emplace(std::string(pw), n);
+    } else {
+      it->second += n;
+    }
+    total_ += n;
+  }
+  cv_.notify_one();
+}
+
+UpdateQueue::Batch UpdateQueue::drain() {
+  StringMap<std::uint64_t> taken;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    taken.swap(pending_);
+    total_ = 0;
+  }
+  Batch batch;
+  batch.reserve(taken.size());
+  for (auto& [pw, n] : taken) {
+    batch.emplace_back(pw, n);
+  }
+  return batch;
+}
+
+std::size_t UpdateQueue::pendingDistinct() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::uint64_t UpdateQueue::pendingTotal() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void UpdateQueue::wake() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    woken_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace fpsm

@@ -1,0 +1,68 @@
+// Buffer between the request path and the grammar rebuild path.
+//
+// The paper's update phase folds every accepted password into the grammar
+// immediately; under concurrent traffic that would serialize scorers
+// behind a writer lock. UpdateQueue instead makes update() a cheap
+// append: occurrences are coalesced per password under a single mutex and
+// drained in batches by the publisher, which rebuilds and publishes a new
+// snapshot. The trade-off (scores lag accepted passwords by at most one
+// publish interval) is documented in DESIGN.md §7.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace fpsm {
+
+class UpdateQueue {
+ public:
+  /// One drained batch: distinct passwords with coalesced counts, in
+  /// unspecified order.
+  using Batch = std::vector<std::pair<std::string, std::uint64_t>>;
+
+  /// Records n more occurrences of pw. Thread-safe; never blocks on the
+  /// publisher beyond the queue mutex.
+  void push(std::string_view pw, std::uint64_t n = 1);
+
+  /// Atomically takes the entire pending batch (empty if nothing pending).
+  Batch drain();
+
+  /// Distinct pending passwords.
+  std::size_t pendingDistinct() const;
+
+  /// Total pending occurrences (sum of counts).
+  std::uint64_t pendingTotal() const;
+
+  /// Blocks until the pending backlog reaches `threshold` occurrences,
+  /// `wake()` is called, or the timeout passes — whichever comes first.
+  /// This is the publisher's pacing primitive: a full timeout gives normal
+  /// interval batching, the threshold bounds the backlog under a flood,
+  /// and wake() serves shutdown/flush. Returns true if updates are pending.
+  template <typename Duration>
+  bool waitFor(Duration timeout, std::uint64_t threshold) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout,
+                 [this, threshold] { return total_ >= threshold || woken_; });
+    woken_ = false;
+    return total_ > 0;
+  }
+
+  /// Wakes a waitFor() caller early (publisher shutdown / flush request).
+  void wake();
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  StringMap<std::uint64_t> pending_;
+  std::uint64_t total_ = 0;
+  bool woken_ = false;
+};
+
+}  // namespace fpsm

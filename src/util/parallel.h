@@ -12,19 +12,28 @@
 #include <algorithm>
 #include <cstddef>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace fpsm {
 
-/// Number of worker threads parallelFor would use for n items.
+/// Number of worker threads parallelFor would use for n items. An explicit
+/// `requested` count is honored as given (callers like the serving layer
+/// know their per-item work is heavy), capped only at n so no thread sits
+/// idle; the ~1k-items-per-thread heuristic applies to the automatic case
+/// alone.
 inline unsigned parallelWorkerCount(std::size_t n, unsigned requested = 0) {
-  unsigned hw = requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (n == 0) return 1;
+  const auto cap = static_cast<unsigned>(
+      std::min<std::size_t>(n, std::numeric_limits<unsigned>::max()));
+  if (requested != 0) return std::min(requested, cap);
+  unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   // No point spinning a thread for fewer than ~1k items of typical work.
   const auto byWork = static_cast<unsigned>(std::max<std::size_t>(n / 1024, 1));
-  return std::min(hw, byWork);
+  return std::min({hw, byWork, cap});
 }
 
 template <typename Fn>

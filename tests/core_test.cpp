@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fuzzy_parse.h"
@@ -320,6 +321,62 @@ TEST(FuzzyPsm, EnumerationIncludesTransformedVariants) {
     return true;
   });
   EXPECT_TRUE(sawCap);
+}
+
+// ----------------------------------------------------------- differential
+
+// The measuring contract: log2Prob(pw) IS the probability of the canonical
+// derivation, for every password shape the grammar can produce — trie hits,
+// capitalized/leet/reversed variants, multi-segment concatenations, and
+// PCFG-fallback spans (the paper's tyxdqd123). Guards the equivalence when
+// either path is later optimized or cached independently (the serving
+// layer's score cache already relies on it).
+TEST(FuzzyPsm, DifferentialDerivationEqualsLog2Prob) {
+  FuzzyConfig cfg;
+  cfg.matchReverse = true;  // widest rule set
+  FuzzyPsm psm(cfg);
+  for (const char* w :
+       {"password", "p@ssword", "123456", "123qwe", "dragon", "monkey",
+        "iloveyou", "secret"}) {
+    psm.addBaseWord(w);
+  }
+
+  // Synthesized corpus: every transformation the grammar models, plus
+  // fallback-only strings and mixtures.
+  const std::vector<std::pair<const char*, std::uint64_t>> corpus = {
+      {"password1", 9},     {"Password1", 2},   {"p@ssw0rd", 3},
+      {"P@ssw0rd123", 1},   {"drowssap", 2},    {"Dragon99", 4},
+      {"m0nkey", 2},        {"123qwe123qwe", 3}, {"tyxdqd123", 2},
+      {"iloveyou520", 5},   {"terces!", 1},     {"s3cret", 2},
+      {"zxywvu!!", 1},      {"123456", 12},     {"654321secret", 1},
+  };
+  for (const auto& [pw, n] : corpus) psm.update(pw, n);
+
+  std::vector<std::string> probes;
+  for (const auto& [pw, n] : corpus) {
+    (void)n;
+    probes.emplace_back(pw);
+  }
+  // Unseen variants exercise the zero-probability branches of both paths.
+  for (const char* pw : {"PASSword1", "p@$$w0rd", "0000000", "secretsecret"}) {
+    probes.emplace_back(pw);
+  }
+
+  for (const auto& pw : probes) {
+    const FuzzyParse parsed = psm.parse(pw);
+    const double viaDerivation = psm.derivationLog2Prob(parsed);
+    const double viaMeter = psm.log2Prob(pw);
+    // Exact equality: identical counts feed both computations.
+    EXPECT_EQ(viaDerivation, viaMeter) << pw;
+    // And the parse really is canonical: re-rendering its segments
+    // reproduces the password.
+    std::string rebuilt;
+    for (const auto& seg : parsed.segments) {
+      rebuilt += renderSegment(seg.base, seg.capitalized, seg.leetSites,
+                               seg.reversed);
+    }
+    EXPECT_EQ(rebuilt, pw);
+  }
 }
 
 // ------------------------------------------------------------- serialization

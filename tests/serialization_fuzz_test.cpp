@@ -4,6 +4,7 @@
 // silently mis-load.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <string>
@@ -13,7 +14,9 @@
 #include "corpus/dataset.h"
 #include "meters/markov/markov.h"
 #include "meters/pcfg/pcfg.h"
+#include "util/chars.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace fpsm {
 namespace {
@@ -127,6 +130,108 @@ TEST(SerializationFuzz, MarkovTruncationsAndCorruption) {
     std::string payload = lines[0] + "\nconfig\tbroken\n";
     expectGracefulLoad(payload,
                        [](std::istream& in) { MarkovModel::load(in); });
+  }
+}
+
+// -------------------------------------------- round-trip property sweep
+
+// Randomized trained grammars for the round-trip property tests: random
+// config (reverse rule, prior, run-retry), random base dictionary, and a
+// training stream mixing exact base words, capitalized/leet/reversed
+// variants, suffixed forms, and pure fallback strings — every production
+// type the serializer must carry.
+FuzzyPsm randomTrainedGrammar(Rng& rng) {
+  FuzzyConfig cfg;
+  cfg.matchReverse = rng.chance(0.5);
+  cfg.retryTrieInsideRuns = rng.chance(0.3);
+  cfg.transformationPrior = rng.chance(0.5) ? 0.5 : 0.0;
+  FuzzyPsm psm(cfg);
+
+  const std::string letters = "abcdefgiostz";
+  const std::string digits = "0123456789";
+  auto randomWord = [&](std::size_t minLen, std::size_t maxLen) {
+    std::string w;
+    const std::size_t len = minLen + rng.below(maxLen - minLen + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      w.push_back(letters[rng.below(letters.size())]);
+    }
+    return w;
+  };
+
+  std::vector<std::string> baseWords;
+  const std::size_t nBase = 8 + rng.below(16);
+  for (std::size_t i = 0; i < nBase; ++i) {
+    baseWords.push_back(randomWord(3, 9));
+    psm.addBaseWord(baseWords.back());
+  }
+
+  const std::size_t nTraining = 40 + rng.below(60);
+  for (std::size_t i = 0; i < nTraining; ++i) {
+    std::string pw;
+    if (rng.chance(0.7)) {
+      pw = baseWords[rng.below(baseWords.size())];
+      if (rng.chance(0.3)) pw[0] = toUpper(pw[0]);
+      for (char& c : pw) {
+        if (rng.chance(0.15)) {
+          if (const auto partner = leetPartner(c)) c = *partner;
+        }
+      }
+      if (rng.chance(0.25)) {
+        std::reverse(pw.begin(), pw.end());
+      }
+      if (rng.chance(0.5)) {
+        const std::size_t nSuffix = 1 + rng.below(4);
+        for (std::size_t d = 0; d < nSuffix; ++d) {
+          pw.push_back(digits[rng.below(digits.size())]);
+        }
+      }
+    } else {
+      pw = randomWord(3, 8);  // likely a PCFG-fallback span
+      if (rng.chance(0.4)) pw += std::to_string(rng.below(10000));
+      if (rng.chance(0.2)) pw += "!";
+    }
+    psm.update(pw, 1 + rng.below(9));
+  }
+  return psm;
+}
+
+std::string saved(const FuzzyPsm& psm) {
+  std::stringstream ss;
+  psm.save(ss);
+  return ss.str();
+}
+
+TEST(SerializationRoundTrip, SaveLoadSaveIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const FuzzyPsm psm = randomTrainedGrammar(rng);
+    const std::string first = saved(psm);
+    std::stringstream in(first);
+    const FuzzyPsm back = FuzzyPsm::load(in);
+    EXPECT_EQ(saved(back), first) << "seed " << seed;
+  }
+}
+
+TEST(SerializationRoundTrip, ScoresAgreeOnRandomPasswords) {
+  Rng rng(99);
+  const FuzzyPsm psm = randomTrainedGrammar(rng);
+  std::stringstream ss(saved(psm));
+  const FuzzyPsm back = FuzzyPsm::load(ss);
+
+  // 1k probes drawn from the same generator family as training (plus raw
+  // random strings), so both in-grammar and zero-probability paths hit.
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789@$!#";
+  for (int i = 0; i < 1000; ++i) {
+    std::string pw;
+    const std::size_t len = 1 + rng.below(14);
+    for (std::size_t c = 0; c < len; ++c) {
+      pw.push_back(alphabet[rng.below(alphabet.size())]);
+    }
+    // EXPECT_EQ, not NEAR: load reconstructs the identical integer counts,
+    // so the float computation must be bit-for-bit the same (covers the
+    // -infinity case too).
+    EXPECT_EQ(back.log2Prob(pw), psm.log2Prob(pw)) << pw;
   }
 }
 

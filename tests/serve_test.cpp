@@ -1,0 +1,450 @@
+// Concurrency suite for the serving layer (src/serve).
+//
+// The stress tests here are the targets of the Sanitize build
+// (-fsanitize=thread); they carry the ctest label "concurrency" so
+// sanitizer runs can select exactly them:
+//   ctest -L concurrency --output-on-failure
+//
+// Core invariant under test: every score a reader observes was computed
+// against exactly one published snapshot — the one named by the reported
+// generation — and matches a single-threaded oracle replay of the update
+// schedule up to that generation. Torn reads, lost updates, or a cache
+// entry surviving a publish would all break the exact-equality check.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fuzzy_psm.h"
+#include "serve/grammar_snapshot.h"
+#include "serve/meter_service.h"
+#include "serve/score_cache.h"
+#include "serve/update_queue.h"
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+FuzzyPsm seedGrammar() {
+  FuzzyPsm psm;
+  for (const char* w :
+       {"password", "p@ssword", "123456", "dragon", "letmein", "monkey",
+        "qwerty", "iloveyou"}) {
+    psm.addBaseWord(w);
+  }
+  psm.update("password1", 20);
+  psm.update("P@ssw0rd", 5);
+  psm.update("dragon123", 8);
+  psm.update("123456", 30);
+  psm.update("letmein99", 4);
+  psm.update("tyxdqd123", 2);  // PCFG-fallback structure
+  psm.update("Monkey2020", 3);
+  return psm;
+}
+
+const std::vector<std::string>& probes() {
+  static const std::vector<std::string> kProbes = {
+      "password1", "P@ssw0rd",  "dragon123", "123456",   "letmein99",
+      "tyxdqd123", "Monkey2020", "qwerty12",  "iloveyou", "p4ssword1",
+      "Dragon123", "zzzzzz",
+  };
+  return kProbes;
+}
+
+/// One deterministic update batch per generation-to-be.
+std::vector<UpdateQueue::Batch> updateSchedule(std::size_t batches) {
+  std::vector<UpdateQueue::Batch> schedule;
+  schedule.reserve(batches);
+  for (std::size_t b = 0; b < batches; ++b) {
+    UpdateQueue::Batch batch;
+    batch.emplace_back("password1", 1 + b % 3);
+    batch.emplace_back("qwerty12", 1);
+    if (b % 2 == 0) batch.emplace_back("iloveyou", 2);
+    if (b % 3 == 0) batch.emplace_back("Dragon123", 1);
+    if (b % 5 == 0) batch.emplace_back("zzzzzz", 1);
+    schedule.push_back(std::move(batch));
+  }
+  return schedule;
+}
+
+/// oracle[g][p] = strengthBits of probe p after replaying batches [0, g).
+std::vector<std::vector<double>> oracleBitsPerGeneration(
+    const std::vector<UpdateQueue::Batch>& schedule) {
+  FuzzyPsm replica = seedGrammar();
+  std::vector<std::vector<double>> oracle;
+  oracle.reserve(schedule.size() + 1);
+  auto record = [&] {
+    std::vector<double> bits;
+    bits.reserve(probes().size());
+    for (const auto& p : probes()) bits.push_back(replica.strengthBits(p));
+    oracle.push_back(std::move(bits));
+  };
+  record();  // generation 0
+  for (const auto& batch : schedule) {
+    for (const auto& [pw, n] : batch) replica.update(pw, n);
+    record();
+  }
+  return oracle;
+}
+
+// ------------------------------------------------------------ ScoreCache
+
+TEST(ScoreCacheTest, InsertLookupAndLru) {
+  ScoreCache cache(2, 1);  // single shard, capacity 2: deterministic LRU
+  EXPECT_FALSE(cache.lookup(1, "a").has_value());
+  cache.insert(1, "a", 10.0);
+  cache.insert(1, "b", 20.0);
+  ASSERT_TRUE(cache.lookup(1, "a").has_value());  // refreshes "a"
+  cache.insert(1, "c", 30.0);                     // evicts LRU = "b"
+  EXPECT_FALSE(cache.lookup(1, "b").has_value());
+  EXPECT_EQ(cache.lookup(1, "a"), 10.0);
+  EXPECT_EQ(cache.lookup(1, "c"), 30.0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ScoreCacheTest, StaleGenerationIsNeverServed) {
+  ScoreCache cache(8, 1);
+  cache.insert(1, "pw", 42.0);
+  EXPECT_EQ(cache.lookup(1, "pw"), 42.0);
+  // A publish bumped the generation: the old entry must not be served,
+  // and must be evicted so it cannot linger.
+  EXPECT_FALSE(cache.lookup(2, "pw").has_value());
+  EXPECT_FALSE(cache.lookup(1, "pw").has_value());  // gone, not resurrected
+  EXPECT_EQ(cache.stats().staleEvictions, 1u);
+}
+
+TEST(ScoreCacheTest, OverwriteMovesEntryToNewGeneration) {
+  ScoreCache cache(8, 1);
+  cache.insert(1, "pw", 42.0);
+  cache.insert(2, "pw", 43.0);
+  EXPECT_EQ(cache.lookup(2, "pw"), 43.0);
+  EXPECT_EQ(cache.size(), 1u);
+  // A lookup under the old generation misses — and evicts.
+  EXPECT_FALSE(cache.lookup(1, "pw").has_value());
+  EXPECT_FALSE(cache.lookup(2, "pw").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ------------------------------------------------------------ UpdateQueue
+
+TEST(UpdateQueueTest, CoalescesCountsPerPassword) {
+  UpdateQueue q;
+  q.push("a", 2);
+  q.push("b", 1);
+  q.push("a", 3);
+  q.push("zero-count", 0);  // ignored
+  EXPECT_EQ(q.pendingDistinct(), 2u);
+  EXPECT_EQ(q.pendingTotal(), 6u);
+  auto batch = q.drain();
+  ASSERT_EQ(batch.size(), 2u);
+  std::uint64_t aCount = 0, bCount = 0;
+  for (const auto& [pw, n] : batch) {
+    if (pw == "a") aCount = n;
+    if (pw == "b") bCount = n;
+  }
+  EXPECT_EQ(aCount, 5u);
+  EXPECT_EQ(bCount, 1u);
+  EXPECT_EQ(q.pendingTotal(), 0u);
+  EXPECT_TRUE(q.drain().empty());
+}
+
+TEST(UpdateQueueTest, ConcurrentPushesLoseNothing) {
+  UpdateQueue q;
+  constexpr int kThreads = 4;
+  constexpr int kPushes = 2000;
+  std::vector<std::thread> pushers;
+  for (int t = 0; t < kThreads; ++t) {
+    pushers.emplace_back([&q, t] {
+      for (int i = 0; i < kPushes; ++i) {
+        q.push("pw" + std::to_string(i % 7), 1);
+        q.push("shared", 1);
+        (void)t;
+      }
+    });
+  }
+  for (auto& t : pushers) t.join();
+  EXPECT_EQ(q.pendingTotal(),
+            static_cast<std::uint64_t>(kThreads) * kPushes * 2);
+  std::uint64_t drained = 0;
+  for (const auto& [pw, n] : q.drain()) {
+    (void)pw;
+    drained += n;
+  }
+  EXPECT_EQ(drained, static_cast<std::uint64_t>(kThreads) * kPushes * 2);
+}
+
+// -------------------------------------------------------- GrammarSnapshot
+
+TEST(GrammarSnapshotTest, FrozenCopyIsImmutableUnderUpdates) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+
+  const auto before = service.snapshot();
+  EXPECT_EQ(before->generation(), 0u);
+  const double bitsBefore = before->strengthBits("password1");
+
+  service.update("password1", 50);
+  EXPECT_EQ(service.publishNow(), 1u);
+
+  // The retired snapshot still scores exactly as it did.
+  EXPECT_EQ(before->strengthBits("password1"), bitsBefore);
+  EXPECT_EQ(before->generation(), 0u);
+  // The published snapshot reflects the fold.
+  const auto after = service.snapshot();
+  EXPECT_EQ(after->generation(), 1u);
+  EXPECT_LT(after->strengthBits("password1"), bitsBefore);
+}
+
+TEST(GrammarSnapshotTest, MatchesUnderlyingGrammarExactly) {
+  const FuzzyPsm psm = seedGrammar();
+  const auto snap = GrammarSnapshot::freeze(psm, 7);
+  EXPECT_EQ(snap->generation(), 7u);
+  for (const auto& p : probes()) {
+    EXPECT_EQ(snap->log2Prob(p), psm.log2Prob(p)) << p;
+    EXPECT_EQ(snap->parse(p).structure, psm.parse(p).structure) << p;
+  }
+}
+
+// ------------------------------------------------------------ MeterService
+
+TEST(MeterServiceTest, RequiresTrainedGrammar) {
+  FuzzyPsm untrained;
+  untrained.addBaseWord("password");
+  EXPECT_THROW(MeterService(std::move(untrained), {}), NotTrained);
+}
+
+TEST(MeterServiceTest, RejectsInvalidUpdateOnCallerThread) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+  EXPECT_THROW(service.update(""), InvalidArgument);
+  EXPECT_THROW(service.update("a\tb"), InvalidArgument);
+  EXPECT_EQ(service.pendingUpdates(), 0u);
+}
+
+TEST(MeterServiceTest, ScoreMatchesGrammarAndCacheHitsAgree) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+  const FuzzyPsm replica = seedGrammar();
+  for (const auto& p : probes()) {
+    const auto first = service.score(p);
+    EXPECT_EQ(first.bits, replica.strengthBits(p)) << p;
+    EXPECT_EQ(first.generation, 0u);
+    EXPECT_FALSE(first.fromCache);
+    const auto second = service.score(p);
+    EXPECT_TRUE(second.fromCache) << p;
+    EXPECT_EQ(second.bits, first.bits) << p;
+  }
+  EXPECT_GT(service.stats().cache.hits, 0u);
+}
+
+TEST(MeterServiceTest, PublishInvalidatesCachedScores) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+  const auto cold = service.score("password1");
+  const auto warm = service.score("password1");
+  ASSERT_TRUE(warm.fromCache);
+
+  service.update("password1", 100);
+  service.publishNow();
+
+  FuzzyPsm replica = seedGrammar();
+  replica.update("password1", 100);
+  const auto fresh = service.score("password1");
+  EXPECT_FALSE(fresh.fromCache);  // stale entry evicted, not served
+  EXPECT_EQ(fresh.generation, 1u);
+  EXPECT_EQ(fresh.bits, replica.strengthBits("password1"));
+  EXPECT_NE(fresh.bits, cold.bits);
+  EXPECT_GT(service.stats().cache.staleEvictions, 0u);
+}
+
+TEST(MeterServiceTest, PublishNowWithoutPendingKeepsGeneration) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+  EXPECT_EQ(service.publishNow(), 0u);
+  EXPECT_EQ(service.generation(), 0u);
+}
+
+TEST(MeterServiceTest, BatchSharesOneGenerationAndMatchesSingles) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+  std::vector<std::string> pws = probes();
+  // Explicit thread request exercises the parallelWorkerCount fix: small
+  // batches must still honor the requested fan-out.
+  const auto batch = service.scoreBatch(pws, 4);
+  ASSERT_EQ(batch.size(), pws.size());
+  const FuzzyPsm replica = seedGrammar();
+  for (std::size_t i = 0; i < pws.size(); ++i) {
+    EXPECT_EQ(batch[i].generation, 0u);
+    EXPECT_EQ(batch[i].bits, replica.strengthBits(pws[i])) << pws[i];
+  }
+}
+
+TEST(MeterServiceTest, BackgroundPublisherFoldsUpdates) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = true;
+  cfg.publishInterval = std::chrono::milliseconds(2);
+  MeterService service(seedGrammar(), cfg);
+
+  service.update("password1", 64);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while ((service.generation() == 0 || service.pendingUpdates() > 0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(service.generation(), 1u);
+  FuzzyPsm replica = seedGrammar();
+  replica.update("password1", 64);
+  EXPECT_EQ(service.score("password1").bits, replica.strengthBits("password1"));
+  EXPECT_GE(service.stats().publishes, 1u);
+  EXPECT_EQ(service.stats().updates, 64u);
+}
+
+// ------------------------------------------------- multi-threaded stress
+
+// N readers score continuously while a writer floods update() and
+// publishes after every batch. Every observed (generation, bits) pair must
+// equal the single-threaded oracle replay — exact double equality, since
+// reader and oracle run the identical deterministic computation. Any torn
+// read, lost update, or stale cache hit shows up as a mismatch.
+TEST(ServeStress, ReadersObserveOnlyPublishedSnapshots) {
+  constexpr std::size_t kBatches = 40;
+  constexpr int kReaders = 4;
+
+  const auto schedule = updateSchedule(kBatches);
+  const auto oracle = oracleBitsPerGeneration(schedule);
+
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;  // writer publishes explicitly
+  cfg.cacheCapacity = 64;           // small: forces eviction + stale paths
+  cfg.cacheShards = 4;
+  MeterService service(seedGrammar(), cfg);
+
+  std::atomic<bool> writerDone{false};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> scoresTaken{0};
+  std::mutex firstMismatchMutex;
+  std::string firstMismatch;
+
+  auto checkScore = [&](std::size_t probeIdx, const MeterService::Score& s) {
+    ++scoresTaken;
+    if (s.generation >= oracle.size() ||
+        s.bits != oracle[s.generation][probeIdx]) {
+      ++mismatches;
+      const std::lock_guard<std::mutex> lock(firstMismatchMutex);
+      if (firstMismatch.empty()) {
+        firstMismatch = probes()[probeIdx] + " @gen " +
+                        std::to_string(s.generation) + ": got " +
+                        std::to_string(s.bits);
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t i = static_cast<std::size_t>(r);  // staggered start
+      while (!writerDone.load(std::memory_order_acquire)) {
+        const std::size_t probeIdx = i++ % probes().size();
+        checkScore(probeIdx, service.score(probes()[probeIdx]));
+      }
+      // A final full sweep against the terminal snapshot.
+      for (std::size_t p = 0; p < probes().size(); ++p) {
+        checkScore(p, service.score(probes()[p]));
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (const auto& batch : schedule) {
+      for (const auto& [pw, n] : batch) service.update(pw, n);
+      service.publishNow();
+      std::this_thread::yield();
+    }
+    writerDone.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u) << "first mismatch: " << firstMismatch;
+  EXPECT_GT(scoresTaken.load(), 0u);
+  EXPECT_EQ(service.generation(), kBatches);
+  // Terminal state equals the oracle's terminal state for every probe.
+  for (std::size_t p = 0; p < probes().size(); ++p) {
+    EXPECT_EQ(service.score(probes()[p]).bits, oracle.back()[p])
+        << probes()[p];
+  }
+}
+
+// Same shape but with the background publisher doing the folding: readers
+// and batch scorers race a writer thread and the publisher thread. Scores
+// cannot be checked against a per-generation oracle (publish points are
+// nondeterministic), so the invariant checked is weaker but still sharp:
+// every score must match the grammar obtained by replaying SOME prefix of
+// the coalesced update stream — verified at the end for the terminal
+// state — and the run must be data-race-free (the TSan target).
+TEST(ServeStress, BackgroundPublisherUnderMixedTraffic) {
+  constexpr int kReaders = 3;
+  constexpr std::size_t kUpdates = 400;
+
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = true;
+  cfg.publishInterval = std::chrono::milliseconds(1);
+  cfg.cacheCapacity = 32;
+  MeterService service(seedGrammar(), cfg);
+
+  std::atomic<bool> writerDone{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!writerDone.load(std::memory_order_acquire)) {
+        if (i % 5 == 0) {
+          (void)service.scoreBatch(probes(), 2);
+        } else {
+          (void)service.score(probes()[i % probes().size()]);
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < kUpdates; ++i) {
+      service.update(probes()[i % probes().size()], 1);
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+    writerDone.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  // Flush whatever the background publisher had not folded yet, then the
+  // terminal state must equal the full replay.
+  service.publishNow();
+  ASSERT_EQ(service.pendingUpdates(), 0u);
+  FuzzyPsm replica = seedGrammar();
+  for (std::size_t i = 0; i < kUpdates; ++i) {
+    replica.update(probes()[i % probes().size()], 1);
+  }
+  for (const auto& p : probes()) {
+    EXPECT_EQ(service.score(p).bits, replica.strengthBits(p)) << p;
+  }
+  EXPECT_EQ(service.stats().updates, kUpdates);
+}
+
+}  // namespace
+}  // namespace fpsm

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <atomic>
@@ -255,6 +258,34 @@ TEST(Parallel, WorkerCountBounds) {
   EXPECT_EQ(parallelWorkerCount(10), 1u);        // tiny input: inline
   EXPECT_GE(parallelWorkerCount(1 << 20), 1u);   // large input: >= 1
   EXPECT_EQ(parallelWorkerCount(1 << 20, 3), 3u);
+}
+
+TEST(Parallel, ExplicitRequestNotClampedByWorkHeuristic) {
+  // Regression: an explicit thread request used to be silently clamped to
+  // n/1024 — a 100-item batch asking for 4 workers got 1. Callers with
+  // heavy per-item work (e.g. MeterService::scoreBatch fanning out fuzzy
+  // parses) must get the fan-out they asked for.
+  EXPECT_EQ(parallelWorkerCount(100, 4), 4u);
+  EXPECT_EQ(parallelWorkerCount(2000, 8), 8u);
+  // ... capped at n so no worker is idle, and n = 0 stays inline.
+  EXPECT_EQ(parallelWorkerCount(2, 8), 2u);
+  EXPECT_EQ(parallelWorkerCount(0, 8), 1u);
+}
+
+TEST(Parallel, ExplicitRequestActuallyFansOut) {
+  // parallelFor must honor the explicit request end to end: with 4 workers
+  // over 8 slow items, at least two distinct threads participate.
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  parallelFor(
+      8,
+      [&](std::size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        const std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      },
+      4);
+  EXPECT_GE(seen.size(), 2u);
 }
 
 // ---------------------------------------------------------------- wordlists

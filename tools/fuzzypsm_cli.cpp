@@ -21,15 +21,26 @@
 //
 //   fuzzypsm generate --service NAME --scale S --seed N --out FILE.txt
 //       Write a synthetic leak for one of the paper's 11 services.
+//
+//   fuzzypsm serve-bench --grammar GRAMMAR [--threads N] [--duration-ms MS]
+//            [--pool N] [--seed S]
+//       Stand up a MeterService and drive mixed traffic: N reader threads
+//       score passwords sampled from the grammar while a writer floods
+//       update() and the background publisher swaps snapshots. Prints
+//       aggregate scores/sec, publishes, and cache hit rate.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/explain.h"
+#include "serve/meter_service.h"
 #include "core/fuzzy_psm.h"
 #include "core/suggest.h"
 #include "corpus/io.h"
@@ -214,10 +225,86 @@ int cmdGenerate(const Args& args) {
   return 0;
 }
 
+int cmdServeBench(const Args& args) {
+  const unsigned threads =
+      static_cast<unsigned>(std::stoul(args.option("threads", "4")));
+  const auto duration =
+      std::chrono::milliseconds(std::stoul(args.option("duration-ms", "2000")));
+  const std::size_t poolSize = std::stoul(args.option("pool", "2048"));
+  Rng rng(std::stoull(args.option("seed", "7")));
+  if (threads == 0) throw InvalidArgument("--threads must be >= 1");
+  if (poolSize == 0) throw InvalidArgument("--pool must be >= 1");
+
+  FuzzyPsm psm = loadGrammar(args);
+  // Traffic pool drawn from the model itself: request popularity follows
+  // the grammar's own distribution, the hot head exercising the cache.
+  std::vector<std::string> pool;
+  pool.reserve(poolSize);
+  for (std::size_t i = 0; i < poolSize; ++i) {
+    pool.push_back(psm.sample(rng));
+  }
+
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = true;
+  cfg.publishInterval = std::chrono::milliseconds(10);
+  MeterService service(std::move(psm), cfg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> totalScores{0};
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng threadRng(1000 + t);
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        (void)service.score(pool[threadRng.below(pool.size())]);
+        ++local;
+      }
+      totalScores.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::thread writer([&] {
+    Rng writerRng(31337);
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < 8; ++i) {
+        service.update(pool[writerRng.below(pool.size())], 1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  for (auto& t : readers) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto stats = service.stats();
+  std::printf("readers: %u, writer: 1 (background publisher every %lld ms)\n",
+              threads,
+              static_cast<long long>(cfg.publishInterval.count()));
+  std::printf("scores: %s in %.2f s -> %s scores/sec\n",
+              fmtCount(totalScores.load()).c_str(), secs,
+              fmtCount(static_cast<std::uint64_t>(
+                           static_cast<double>(totalScores.load()) / secs))
+                  .c_str());
+  std::printf("updates accepted: %s, snapshots published: %s (generation %s)\n",
+              fmtCount(stats.updates).c_str(),
+              fmtCount(stats.publishes).c_str(),
+              fmtCount(service.generation()).c_str());
+  std::printf("cache: %.1f%% hit rate, %s stale evictions\n",
+              100.0 * stats.cache.hitRate(),
+              fmtCount(stats.cache.staleEvictions).c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: fuzzypsm <train|measure|suggest|explain|guesses|generate> "
-               "[options]\n"
+               "usage: fuzzypsm <train|measure|suggest|explain|guesses|"
+               "generate|serve-bench> [options]\n"
                "see the header of tools/fuzzypsm_cli.cpp for details\n");
   return 2;
 }
@@ -234,6 +321,7 @@ int main(int argc, char** argv) {
     if (args.command == "explain") return cmdExplain(args);
     if (args.command == "guesses") return cmdGuesses(args);
     if (args.command == "generate") return cmdGenerate(args);
+    if (args.command == "serve-bench") return cmdServeBench(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
