@@ -1,0 +1,286 @@
+// Binary .fpsmb serialization of FuzzyPsm. These are FuzzyPsm members
+// (declared in core/fuzzy_psm.h for private access to the grammar counts)
+// but defined here so the core library stays free of artifact code: only
+// targets linking fpsm_artifact can compile or load binary grammars.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <ostream>
+#include <sstream>
+
+#include "artifact/artifact.h"
+#include "artifact/checksum.h"
+#include "core/fuzzy_psm.h"
+#include "trie/flat_trie.h"
+
+namespace fpsm {
+namespace {
+
+/// Little-endian byte-buffer builder for one section payload.
+class Blob {
+ public:
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void chars(const char* p, std::size_t n) { raw(p, n); }
+
+  void padTo8() {
+    while (bytes_.size() % 8 != 0) bytes_.push_back(std::byte{0});
+  }
+
+  const std::vector<std::byte>& bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    std::memcpy(bytes_.data() + at, p, n);
+  }
+
+  std::vector<std::byte> bytes_;
+};
+
+/// (form, count) pairs of a SegmentTable in lexicographic form order — the
+/// artifact's canonical entry order, which makes compilation deterministic
+/// and lets readers binary-search the mapped pool.
+std::vector<std::pair<std::string_view, std::uint64_t>> sortedEntries(
+    const SegmentTable& table) {
+  std::vector<std::pair<std::string_view, std::uint64_t>> entries;
+  entries.reserve(table.distinct());
+  table.forEach([&](std::string_view form, std::uint64_t count) {
+    entries.emplace_back(form, count);
+  });
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+/// Appends a count table (total, poolBytes, counts[], strOff[], strLen[],
+/// pool) to `out`. `out` must be 8-aligned minus 16 at the call site so the
+/// u64 counts land 8-aligned in the file; both callers arrange this.
+void writeCountTable(
+    Blob& out,
+    const std::vector<std::pair<std::string_view, std::uint64_t>>& entries,
+    std::uint64_t total) {
+  std::uint64_t poolBytes = 0;
+  for (const auto& [form, count] : entries) poolBytes += form.size();
+  if (poolBytes > 0xffffffffull) {
+    throw Error("artifact writer: string pool exceeds 4 GiB");
+  }
+  out.u64(total);
+  out.u64(poolBytes);
+  for (const auto& [form, count] : entries) out.u64(count);
+  std::uint32_t off = 0;
+  for (const auto& [form, count] : entries) {
+    out.u32(off);
+    off += static_cast<std::uint32_t>(form.size());
+  }
+  for (const auto& [form, count] : entries) {
+    out.u32(static_cast<std::uint32_t>(form.size()));
+  }
+  for (const auto& [form, count] : entries) {
+    out.chars(form.data(), form.size());
+  }
+}
+
+void writeTrie(Blob& out, const Trie& trie) {
+  const FlatTrie flat = FlatTrie::fromTrie(trie);
+  out.u32(static_cast<std::uint32_t>(flat.edgeBegin().size()));
+  out.u32(static_cast<std::uint32_t>(flat.edgeTargets().size()));
+  out.u64(flat.wordCount());
+  for (const std::uint32_t v : flat.edgeBegin()) out.u32(v);
+  for (const std::uint32_t v : flat.edgeMeta()) out.u32(v);
+  for (const std::uint32_t v : flat.edgeTargets()) out.u32(v);
+  out.chars(flat.edgeLabels().data(), flat.edgeLabels().size());
+}
+
+}  // namespace
+
+void FuzzyPsm::saveBinary(std::ostream& out) const {
+  Blob sections[kArtifactSectionCount];
+
+  // Config (fixed 152 bytes).
+  {
+    Blob& b = sections[0];
+    if (config_.minBaseWordLen > 0xffffffffull) {
+      throw Error("artifact writer: minBaseWordLen exceeds u32");
+    }
+    b.u32(static_cast<std::uint32_t>(config_.minBaseWordLen));
+    std::uint32_t flags = 0;
+    if (config_.matchCapitalization) flags |= kArtifactFlagMatchCapitalization;
+    if (config_.matchLeet) flags |= kArtifactFlagMatchLeet;
+    if (config_.retryTrieInsideRuns) flags |= kArtifactFlagRetryTrieInsideRuns;
+    if (config_.matchReverse) flags |= kArtifactFlagMatchReverse;
+    b.u32(flags);
+    b.f64(config_.transformationPrior);
+    b.u64(capYes_);
+    b.u64(capTotal_);
+    b.u64(revYes_);
+    b.u64(revTotal_);
+    for (int r = 0; r < kNumLeetRules; ++r) {
+      b.u64(leetYes_[static_cast<std::size_t>(r)]);
+    }
+    for (int r = 0; r < kNumLeetRules; ++r) {
+      b.u64(leetTotal_[static_cast<std::size_t>(r)]);
+    }
+    b.u64(trainedPasswords_);
+  }
+
+  // BaseWords, in insertion order: reloading replays the same addBaseWord
+  // sequence, so the rebuilt tries — and a re-compiled artifact — are
+  // byte-identical.
+  {
+    Blob& b = sections[1];
+    std::uint64_t poolBytes = 0;
+    for (const auto& w : baseWords_) poolBytes += w.size();
+    if (poolBytes > 0xffffffffull) {
+      throw Error("artifact writer: base word pool exceeds 4 GiB");
+    }
+    b.u64(baseWords_.size());
+    b.u64(poolBytes);
+    std::uint32_t off = 0;
+    for (const auto& w : baseWords_) {
+      b.u32(off);
+      off += static_cast<std::uint32_t>(w.size());
+    }
+    b.u32(off);
+    for (const auto& w : baseWords_) b.chars(w.data(), w.size());
+  }
+
+  writeTrie(sections[2], trie_);
+  writeTrie(sections[3], reversedTrie_);
+
+  // Structures.
+  {
+    Blob& b = sections[4];
+    const auto entries = sortedEntries(structures_);
+    b.u32(static_cast<std::uint32_t>(entries.size()));
+    b.u32(0);  // reserved
+    writeCountTable(b, entries, structures_.total());
+  }
+
+  // Segment tables in ascending length order.
+  {
+    Blob& b = sections[5];
+    std::vector<std::size_t> lengths;
+    lengths.reserve(segments_.size());
+    for (const auto& [len, table] : segments_) {
+      (void)table;
+      lengths.push_back(len);
+    }
+    std::sort(lengths.begin(), lengths.end());
+    b.u32(static_cast<std::uint32_t>(lengths.size()));
+    b.u32(0);  // reserved
+    for (const std::size_t len : lengths) {
+      const SegmentTable& table = segments_.at(len);
+      const auto entries = sortedEntries(table);
+      b.u32(static_cast<std::uint32_t>(len));
+      b.u32(static_cast<std::uint32_t>(entries.size()));
+      writeCountTable(b, entries, table.total());
+      b.padTo8();
+    }
+  }
+
+  // Assemble: header + section table + 8-aligned payloads.
+  const std::size_t preludeBytes =
+      kArtifactHeaderBytes + kArtifactSectionCount * kArtifactSectionEntryBytes;
+  std::uint64_t offsets[kArtifactSectionCount];
+  std::uint64_t cursor = preludeBytes;
+  for (std::size_t i = 0; i < kArtifactSectionCount; ++i) {
+    cursor = (cursor + 7) & ~7ull;
+    offsets[i] = cursor;
+    cursor += sections[i].size();
+  }
+  std::vector<std::byte> file(cursor, std::byte{0});
+
+  Blob header;
+  header.u32(kArtifactMagic);
+  header.u32(kArtifactVersion);
+  header.u32(kArtifactEndianTag);
+  header.u32(kArtifactSectionCount);
+  header.u64(cursor);  // fileBytes
+  header.u64(0);       // reserved
+  header.u64(0);       // headerChecksum, patched below
+  for (std::size_t i = 0; i < kArtifactSectionCount; ++i) {
+    header.u32(static_cast<std::uint32_t>(i + 1));  // id
+    header.u32(0);                                  // reserved
+    header.u64(offsets[i]);
+    header.u64(sections[i].size());
+    header.u64(xxhash64(sections[i].bytes().data(), sections[i].size()));
+  }
+  std::memcpy(file.data(), header.bytes().data(), preludeBytes);
+  const std::uint64_t headerChecksum = xxhash64(file.data(), preludeBytes);
+  std::memcpy(file.data() + 32, &headerChecksum, 8);
+  for (std::size_t i = 0; i < kArtifactSectionCount; ++i) {
+    std::memcpy(file.data() + offsets[i], sections[i].bytes().data(),
+                sections[i].size());
+  }
+
+  out.write(reinterpret_cast<const char*>(file.data()),
+            static_cast<std::streamsize>(file.size()));
+  if (!out) throw IoError("FuzzyPsm::saveBinary: write failed");
+}
+
+FuzzyPsm FuzzyPsm::loadBinary(std::istream& in) {
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    throw ArtifactError(ArtifactErrorCode::Io, "stream read failed");
+  }
+  std::vector<std::byte> bytes(raw.size());
+  if (!raw.empty()) std::memcpy(bytes.data(), raw.data(), raw.size());
+  const auto artifact = GrammarArtifact::fromBytes(std::move(bytes));
+  return fromArtifact(*artifact);
+}
+
+FuzzyPsm FuzzyPsm::fromArtifact(const GrammarArtifact& artifact) {
+  const FlatGrammarView& v = artifact.grammar();
+  FuzzyPsm psm(v.config());
+  // Replaying the stored insertion order rebuilds trie_/reversedTrie_
+  // identically to the grammar the artifact was compiled from.
+  for (std::uint64_t i = 0; i < v.baseWordCount(); ++i) {
+    psm.addBaseWord(v.baseWord(i));
+  }
+  psm.capYes_ = v.capYes();
+  psm.capTotal_ = v.capTotal();
+  psm.revYes_ = v.revYes();
+  psm.revTotal_ = v.revTotal();
+  for (int r = 0; r < kNumLeetRules; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    psm.leetYes_[i] = v.leetYes(r);
+    psm.leetTotal_[i] = v.leetTotal(r);
+  }
+  const FlatTableView& structures = v.structures();
+  for (std::uint32_t i = 0; i < structures.distinct(); ++i) {
+    psm.structures_.add(structures.form(i), structures.countAt(i));
+  }
+  for (const auto& [len, table] : v.segmentTables()) {
+    SegmentTable& dst = psm.segments_[len];
+    for (std::uint32_t i = 0; i < table.distinct(); ++i) {
+      dst.add(table.form(i), table.countAt(i));
+    }
+  }
+  psm.trainedPasswords_ = v.trainedPasswords();
+  return psm;
+}
+
+std::vector<std::byte> compileArtifact(const FuzzyPsm& psm) {
+  std::ostringstream out;
+  psm.saveBinary(out);
+  const std::string raw = out.str();
+  std::vector<std::byte> bytes(raw.size());
+  if (!raw.empty()) std::memcpy(bytes.data(), raw.data(), raw.size());
+  return bytes;
+}
+
+void writeArtifactFile(const FuzzyPsm& psm, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot open " + path + " for writing");
+  psm.saveBinary(out);
+  out.flush();
+  if (!out) throw IoError("write to " + path + " failed");
+}
+
+}  // namespace fpsm

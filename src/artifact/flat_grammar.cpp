@@ -1,0 +1,122 @@
+#include "artifact/flat_grammar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace fpsm {
+namespace {
+
+constexpr double kInfiniteBits = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::uint64_t FlatTableView::count(std::string_view form) const {
+  // Binary search over the lexicographically sorted entries, comparing
+  // directly against the mapped string pool.
+  std::uint32_t lo = 0;
+  std::uint32_t hi = distinct_;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const std::string_view entry(pool_ + strOff_[mid], strLen_[mid]);
+    if (entry < form) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < distinct_) {
+    const std::string_view entry(pool_ + strOff_[lo], strLen_[lo]);
+    if (entry == form) return counts_[lo];
+  }
+  return 0;
+}
+
+const FlatTableView* FlatGrammarView::segmentTable(std::size_t len) const {
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), len,
+      [](const auto& entry, std::size_t l) { return entry.first < l; });
+  if (it != segments_.end() && it->first == len) return &it->second;
+  return nullptr;
+}
+
+// The probability formulas below replicate FuzzyPsm::capProb / leetProb /
+// revProb / derivationLog2Prob operation for operation: the differential
+// tests require scores from a compiled artifact to be bit-identical to the
+// grammar it was compiled from, so the float expressions must not drift.
+
+double FlatGrammarView::capProb(bool yes) const {
+  const double prior = config_.transformationPrior;
+  const double denom = static_cast<double>(capTotal_) + 2.0 * prior;
+  if (denom <= 0.0) return 1.0;  // no information: neutral factor
+  const double numer =
+      (yes ? static_cast<double>(capYes_)
+           : static_cast<double>(capTotal_ - capYes_)) +
+      prior;
+  return numer / denom;
+}
+
+double FlatGrammarView::leetProb(int rule, bool yes) const {
+  const auto r = static_cast<std::size_t>(rule);
+  const double prior = config_.transformationPrior;
+  const double denom = static_cast<double>(leetTotal_[r]) + 2.0 * prior;
+  if (denom <= 0.0) return 1.0;
+  const double numer =
+      (yes ? static_cast<double>(leetYes_[r])
+           : static_cast<double>(leetTotal_[r] - leetYes_[r])) +
+      prior;
+  return numer / denom;
+}
+
+double FlatGrammarView::revProb(bool yes) const {
+  const double prior = config_.transformationPrior;
+  const double denom = static_cast<double>(revTotal_) + 2.0 * prior;
+  if (denom <= 0.0) return yes ? 0.0 : 1.0;
+  const double numer =
+      (yes ? static_cast<double>(revYes_)
+           : static_cast<double>(revTotal_ - revYes_)) +
+      prior;
+  return numer / denom;
+}
+
+FuzzyParse FlatGrammarView::parse(std::string_view pw) const {
+  return BasicFuzzyParser<FlatTrieView>(trie_, config_, &reversedTrie_)
+      .parse(pw);
+}
+
+double FlatGrammarView::derivationLog2Prob(const FuzzyParse& p) const {
+  const double ps = structures_.probability(p.structure);
+  if (ps <= 0.0) return -kInfiniteBits;
+  double lp = std::log2(ps);
+  for (const auto& seg : p.segments) {
+    const FlatTableView* table = segmentTable(seg.length());
+    const double pseg =
+        table == nullptr ? 0.0 : table->probability(seg.base);
+    if (pseg <= 0.0) return -kInfiniteBits;
+    lp += std::log2(pseg);
+    const double pc = capProb(seg.capitalized);
+    if (pc <= 0.0) return -kInfiniteBits;
+    lp += std::log2(pc);
+    if (config_.matchReverse) {
+      const double pr = revProb(seg.reversed);
+      if (pr <= 0.0) return -kInfiniteBits;
+      lp += std::log2(pr);
+    }
+    for (const auto& site : seg.leetSites) {
+      const double pl = leetProb(site.rule, site.transformed);
+      if (pl <= 0.0) return -kInfiniteBits;
+      lp += std::log2(pl);
+    }
+  }
+  return lp;
+}
+
+double FlatGrammarView::log2Prob(std::string_view pw) const {
+  if (!trained()) throw NotTrained("FlatGrammarView: not trained");
+  if (!isValidPassword(pw)) return -kInfiniteBits;
+  return derivationLog2Prob(parse(pw));
+}
+
+}  // namespace fpsm

@@ -1,0 +1,139 @@
+// Zero-copy views over an .fpsmb artifact: FlatTableView (one B_n / base
+// structure count table, binary-searchable in place) and FlatGrammarView
+// (the full scoring surface of a trained fuzzy grammar).
+//
+// FlatGrammarView exposes the same scoring interface FuzzyPsm does —
+// parse(), derivationLog2Prob(), log2Prob(), strengthBits() — computed
+// with the *identical* arithmetic in the identical order, so scores from a
+// compiled artifact are bit-for-bit equal to the in-memory grammar they
+// were compiled from (the differential tests in tests/artifact_test.cpp
+// enforce this). All state is pointers into the mapped buffer plus a few
+// copied counters; constructing a view allocates only the small per-length
+// segment-table index.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/fuzzy_parse.h"
+#include "trie/flat_trie.h"
+#include "util/chars.h"
+
+namespace fpsm {
+
+/// Read-only count table over terminal strings, the flat sibling of
+/// SegmentTable. Entries are sorted lexicographically by form; probability
+/// lookups binary-search the mapped pool directly.
+class FlatTableView {
+ public:
+  FlatTableView() = default;
+  FlatTableView(const std::uint64_t* counts, const std::uint32_t* strOff,
+                const std::uint32_t* strLen, const char* pool,
+                std::uint32_t distinct, std::uint64_t total)
+      : counts_(counts),
+        strOff_(strOff),
+        strLen_(strLen),
+        pool_(pool),
+        distinct_(distinct),
+        total_(total) {}
+
+  std::uint64_t count(std::string_view form) const;
+  std::uint64_t total() const { return total_; }
+  std::uint32_t distinct() const { return distinct_; }
+  bool empty() const { return distinct_ == 0; }
+
+  /// Maximum-likelihood probability count/total; 0 for unseen forms or an
+  /// empty table. Same arithmetic as SegmentTable::probability.
+  double probability(std::string_view form) const {
+    if (total_ == 0) return 0.0;
+    return static_cast<double>(count(form)) / static_cast<double>(total_);
+  }
+
+  /// Entry access in lexicographic form order (inspection, materialize).
+  std::string_view form(std::uint32_t i) const {
+    return std::string_view(pool_ + strOff_[i], strLen_[i]);
+  }
+  std::uint64_t countAt(std::uint32_t i) const { return counts_[i]; }
+
+ private:
+  const std::uint64_t* counts_ = nullptr;
+  const std::uint32_t* strOff_ = nullptr;
+  const std::uint32_t* strLen_ = nullptr;
+  const char* pool_ = nullptr;
+  std::uint32_t distinct_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The full grammar read out of a validated artifact buffer. Non-owning:
+/// the GrammarArtifact that produced it keeps the buffer alive.
+class FlatGrammarView {
+ public:
+  FlatGrammarView() = default;
+
+  // --- scoring (mirrors FuzzyPsm bit-for-bit) ----------------------------
+  double log2Prob(std::string_view pw) const;
+  double strengthBits(std::string_view pw) const { return -log2Prob(pw); }
+  FuzzyParse parse(std::string_view pw) const;
+  double derivationLog2Prob(const FuzzyParse& parse) const;
+  bool trained() const { return structures_.total() > 0; }
+
+  // --- introspection -----------------------------------------------------
+  const FuzzyConfig& config() const { return config_; }
+  const FlatTrieView& baseDictionary() const { return trie_; }
+  const FlatTrieView& reversedDictionary() const { return reversedTrie_; }
+  const FlatTableView& structures() const { return structures_; }
+  /// Table for B_n, or nullptr if no segment of that length was seen.
+  const FlatTableView* segmentTable(std::size_t len) const;
+  const std::vector<std::pair<std::uint32_t, FlatTableView>>&
+  segmentTables() const {
+    return segments_;
+  }
+  std::uint64_t trainedPasswords() const { return trainedPasswords_; }
+
+  std::uint64_t baseWordCount() const { return baseWordCount_; }
+  std::string_view baseWord(std::uint64_t i) const {
+    return std::string_view(baseWordPool_ + baseWordOff_[i],
+                            baseWordOff_[i + 1] - baseWordOff_[i]);
+  }
+
+  std::uint64_t capYes() const { return capYes_; }
+  std::uint64_t capTotal() const { return capTotal_; }
+  std::uint64_t revYes() const { return revYes_; }
+  std::uint64_t revTotal() const { return revTotal_; }
+  std::uint64_t leetYes(int rule) const {
+    return leetYes_[static_cast<std::size_t>(rule)];
+  }
+  std::uint64_t leetTotal(int rule) const {
+    return leetTotal_[static_cast<std::size_t>(rule)];
+  }
+
+ private:
+  friend class GrammarArtifact;
+
+  double capProb(bool yes) const;
+  double leetProb(int rule, bool yes) const;
+  double revProb(bool yes) const;
+
+  FuzzyConfig config_;
+  FlatTrieView trie_;
+  FlatTrieView reversedTrie_;
+  FlatTableView structures_;
+  /// (segment length, table), sorted by length; binary-searched.
+  std::vector<std::pair<std::uint32_t, FlatTableView>> segments_;
+
+  const std::uint32_t* baseWordOff_ = nullptr;  // count+1 entries
+  const char* baseWordPool_ = nullptr;
+  std::uint64_t baseWordCount_ = 0;
+
+  std::uint64_t capYes_ = 0;
+  std::uint64_t capTotal_ = 0;
+  std::uint64_t revYes_ = 0;
+  std::uint64_t revTotal_ = 0;
+  std::uint64_t leetYes_[kNumLeetRules] = {};
+  std::uint64_t leetTotal_[kNumLeetRules] = {};
+  std::uint64_t trainedPasswords_ = 0;
+};
+
+}  // namespace fpsm

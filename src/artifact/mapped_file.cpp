@@ -1,0 +1,79 @@
+#include "artifact/mapped_file.h"
+
+#include <utility>
+
+#include "artifact/format.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FPSM_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FPSM_HAVE_MMAP 0
+#endif
+
+namespace fpsm {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      open_(std::exchange(other.open_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    open_ = std::exchange(other.open_, false);
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+#if FPSM_HAVE_MMAP
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+#if FPSM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw ArtifactError(ArtifactErrorCode::Io, "cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw ArtifactError(ArtifactErrorCode::Io, "cannot stat " + path);
+  }
+  MappedFile out;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  out.open_ = true;
+  if (out.size_ > 0) {
+    void* p = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      throw ArtifactError(ArtifactErrorCode::Io, "cannot mmap " + path);
+    }
+    out.data_ = static_cast<std::byte*>(p);
+  }
+  // The mapping survives the descriptor.
+  ::close(fd);
+  return out;
+#else
+  throw ArtifactError(ArtifactErrorCode::Io,
+                      "memory mapping unsupported on this platform; use "
+                      "GrammarArtifact::fromBytes with a read file");
+#endif
+}
+
+}  // namespace fpsm

@@ -1,0 +1,39 @@
+// Read-only memory-mapped file (RAII). The artifact loader maps grammars
+// so N worker processes can share one physical copy of the page cache and
+// a cold start touches only the pages it validates/scores with.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fpsm {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Throws ArtifactError(Io) on failure (missing
+  /// file, permission, mmap failure). Empty files map to a valid
+  /// zero-length view.
+  static MappedFile open(const std::string& path);
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  /// True once open() succeeded (even for a zero-length file).
+  bool valid() const { return open_; }
+
+ private:
+  void reset() noexcept;
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace fpsm

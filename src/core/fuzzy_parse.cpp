@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "trie/flat_trie.h"
 #include "util/chars.h"
 #include "util/error.h"
 
 namespace fpsm {
 
-FuzzyParser::FuzzyParser(const Trie& trie, FuzzyConfig config,
-                         const Trie* reversedTrie)
+template <typename TrieT>
+BasicFuzzyParser<TrieT>::BasicFuzzyParser(const TrieT& trie,
+                                          FuzzyConfig config,
+                                          const TrieT* reversedTrie)
     : trie_(trie), reversedTrie_(reversedTrie), config_(config) {
   if (config_.minBaseWordLen == 0) {
     throw InvalidArgument("FuzzyParser: minBaseWordLen must be >= 1");
@@ -22,8 +25,10 @@ FuzzyParser::FuzzyParser(const Trie& trie, FuzzyConfig config,
   }
 }
 
-FuzzyParser::MatchResult FuzzyParser::longestMatch(std::string_view pw,
-                                                   std::size_t from) const {
+template <typename TrieT>
+typename BasicFuzzyParser<TrieT>::MatchResult
+BasicFuzzyParser<TrieT>::longestMatch(std::string_view pw,
+                                      std::size_t from) const {
   MatchResult best;
   if (trie_.empty() || from >= pw.size()) return best;
 
@@ -38,7 +43,7 @@ FuzzyParser::MatchResult FuzzyParser::longestMatch(std::string_view pw,
   constexpr int kNodeBudget = 20000;
   int budget = kNodeBudget;
 
-  auto dfs = [&](auto&& self, Trie::NodeId node, std::size_t depth,
+  auto dfs = [&](auto&& self, typename TrieT::NodeId node, std::size_t depth,
                  int transformations) -> void {
     if (--budget < 0) return;
     if (trie_.isTerminal(node) && depth >= config_.minBaseWordLen) {
@@ -80,7 +85,7 @@ FuzzyParser::MatchResult FuzzyParser::longestMatch(std::string_view pw,
       }
     }
   };
-  dfs(dfs, Trie::kRoot, 0, 0);
+  dfs(dfs, TrieT::kRoot, 0, 0);
   return best;
 }
 
@@ -117,7 +122,8 @@ std::string renderSegment(std::string_view base, bool capitalized,
   return out;
 }
 
-FuzzyParse FuzzyParser::parse(std::string_view pw) const {
+template <typename TrieT>
+FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw) const {
   validatePassword(pw);
   FuzzyParse result;
   std::size_t i = 0;
@@ -181,5 +187,8 @@ FuzzyParse FuzzyParser::parse(std::string_view pw) const {
   }
   return result;
 }
+
+template class BasicFuzzyParser<Trie>;
+template class BasicFuzzyParser<FlatTrieView>;
 
 }  // namespace fpsm

@@ -74,12 +74,20 @@ struct FuzzyParse {
 /// Stateless parsing engine over a borrowed trie. The trie (and the
 /// optional reversed trie, required when config.matchReverse is set) must
 /// outlive the parser.
-class FuzzyParser {
+///
+/// Generic over the trie representation: any type exposing the traversal
+/// concept `NodeId`/`kRoot`/`child`/`isTerminal`/`longestPrefix`/`empty`
+/// works. Two instantiations are compiled (fuzzy_parse.cpp): the pointer
+/// Trie used during training, and the pointer-free FlatTrieView read
+/// zero-copy out of an mmap'd grammar artifact (src/artifact). Both walk
+/// the same automaton, so parses are identical by construction.
+template <typename TrieT>
+class BasicFuzzyParser {
  public:
   /// `reversedTrie` holds every base word written backwards; only
   /// consulted when config.matchReverse is true.
-  FuzzyParser(const Trie& trie, FuzzyConfig config,
-              const Trie* reversedTrie = nullptr);
+  BasicFuzzyParser(const TrieT& trie, FuzzyConfig config,
+                   const TrieT* reversedTrie = nullptr);
 
   /// Result of the fuzzy longest-prefix match at one position.
   struct MatchResult {
@@ -99,10 +107,18 @@ class FuzzyParser {
   const FuzzyConfig& config() const { return config_; }
 
  private:
-  const Trie& trie_;
-  const Trie* reversedTrie_;
+  const TrieT& trie_;
+  const TrieT* reversedTrie_;
   FuzzyConfig config_;
 };
+
+class FlatTrieView;
+
+extern template class BasicFuzzyParser<Trie>;
+extern template class BasicFuzzyParser<FlatTrieView>;
+
+/// The historical name: the parser over the pointer trie.
+using FuzzyParser = BasicFuzzyParser<Trie>;
 
 /// Recomputes the leet decision sites for a segment: one site per
 /// leet-capable character of `base`, `transformed` where the password text

@@ -108,6 +108,19 @@ class FuzzyPsm : public ProbabilisticModel {
   /// Reads a grammar previously written by save().
   static FuzzyPsm load(std::istream& in);
 
+  // Binary .fpsmb artifact format (src/artifact/format.h). Declared here
+  // for private-member access but defined in src/artifact/binary_io.cpp so
+  // the core library carries no artifact dependency; linking these symbols
+  // requires fpsm_artifact.
+  /// Writes the grammar as a flat binary artifact. Deterministic: a
+  /// save -> loadBinary -> saveBinary round trip is byte-identical.
+  void saveBinary(std::ostream& out) const;
+  /// Reads a grammar previously written by saveBinary(). Throws
+  /// ArtifactError on malformed input.
+  static FuzzyPsm loadBinary(std::istream& in);
+  /// Materializes an in-memory grammar from a validated artifact.
+  static FuzzyPsm fromArtifact(const class GrammarArtifact& artifact);
+
  private:
   double capProb(bool yes) const;
   double leetProb(int rule, bool yes) const;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/error.h"
+
 namespace fpsm {
 
 GrammarSnapshot::GrammarSnapshot(FuzzyPsm grammar, std::uint64_t generation)
@@ -9,12 +11,35 @@ GrammarSnapshot::GrammarSnapshot(FuzzyPsm grammar, std::uint64_t generation)
   grammar_.warmCaches();
 }
 
+GrammarSnapshot::GrammarSnapshot(
+    std::shared_ptr<const GrammarArtifact> artifact, std::uint64_t generation)
+    : artifact_(std::move(artifact)), generation_(generation) {}
+
 std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::freeze(
     const FuzzyPsm& grammar, std::uint64_t generation) {
   // Not make_shared: the constructor is private, and a standalone control
   // block keeps the (large) grammar deallocatable independent of weak refs.
   return std::shared_ptr<const GrammarSnapshot>(
       new GrammarSnapshot(grammar, generation));
+}
+
+std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::fromArtifact(
+    std::shared_ptr<const GrammarArtifact> artifact,
+    std::uint64_t generation) {
+  if (!artifact) {
+    throw InvalidArgument("GrammarSnapshot::fromArtifact: null artifact");
+  }
+  return std::shared_ptr<const GrammarSnapshot>(
+      new GrammarSnapshot(std::move(artifact), generation));
+}
+
+const FuzzyPsm& GrammarSnapshot::grammar() const {
+  if (artifact_) {
+    throw Error(
+        "GrammarSnapshot::grammar: artifact-backed snapshot holds no "
+        "materialized FuzzyPsm");
+  }
+  return grammar_;
 }
 
 }  // namespace fpsm

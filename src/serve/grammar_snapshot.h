@@ -1,12 +1,22 @@
 // Immutable, generation-stamped view of a trained fuzzy grammar.
 //
-// A snapshot is a frozen deep copy of a FuzzyPsm: structures, segment
-// tables, transformation counters, and the base-dictionary tries. Freezing
-// warms every lazily-built cache inside the grammar (FuzzyPsm::warmCaches),
-// after which every scoring entry point is physically read-only — so one
-// snapshot can be scored by any number of threads with no locking at all.
-// This is the ownership model Chromium uses for zxcvbn's frequency lists:
-// build read-optimized data once, hand `const` access to the hot path.
+// A snapshot comes in two flavors behind one scoring surface:
+//
+//   * owned    — a frozen deep copy of a FuzzyPsm (freeze()): structures,
+//                segment tables, transformation counters, and the
+//                base-dictionary tries. Freezing warms every lazily-built
+//                cache inside the grammar (FuzzyPsm::warmCaches), after
+//                which every scoring entry point is physically read-only.
+//   * artifact — a zero-copy FlatGrammarView over a validated .fpsmb
+//                buffer (fromArtifact()), typically an mmap'd file. No
+//                deep copy is made; the snapshot pins the GrammarArtifact
+//                alive. Scores are bit-identical to the owned flavor by
+//                the artifact format's differential-test contract.
+//
+// Either way the snapshot is immutable, so one snapshot can be scored by
+// any number of threads with no locking at all. This is the ownership
+// model Chromium uses for zxcvbn's frequency lists: build read-optimized
+// data once, hand `const` access to the hot path.
 //
 // Snapshots are published to readers through an RcuPtr (util/rcu_ptr.h)
 // inside MeterService; the generation number orders publishes and keys the
@@ -17,7 +27,9 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <utility>
 
+#include "artifact/artifact.h"
 #include "core/fuzzy_psm.h"
 
 namespace fpsm {
@@ -29,27 +41,52 @@ class GrammarSnapshot {
   static std::shared_ptr<const GrammarSnapshot> freeze(
       const FuzzyPsm& grammar, std::uint64_t generation);
 
+  /// Wraps a validated artifact without copying it: scoring runs directly
+  /// on the (possibly memory-mapped) flat grammar. The artifact is kept
+  /// alive for the snapshot's lifetime.
+  static std::shared_ptr<const GrammarSnapshot> fromArtifact(
+      std::shared_ptr<const GrammarArtifact> artifact,
+      std::uint64_t generation);
+
   /// Monotonic publish counter: 0 for the initial snapshot, +1 per publish.
   std::uint64_t generation() const { return generation_; }
 
   // Synchronization-free scoring surface (safe from any number of threads).
-  double log2Prob(std::string_view pw) const { return grammar_.log2Prob(pw); }
-  double strengthBits(std::string_view pw) const {
-    return grammar_.strengthBits(pw);
+  double log2Prob(std::string_view pw) const {
+    return artifact_ ? artifact_->grammar().log2Prob(pw)
+                     : grammar_.log2Prob(pw);
   }
-  FuzzyParse parse(std::string_view pw) const { return grammar_.parse(pw); }
-  bool trained() const { return grammar_.trained(); }
-  std::uint64_t trainedPasswords() const { return grammar_.trainedPasswords(); }
+  double strengthBits(std::string_view pw) const {
+    return artifact_ ? artifact_->grammar().strengthBits(pw)
+                     : grammar_.strengthBits(pw);
+  }
+  FuzzyParse parse(std::string_view pw) const {
+    return artifact_ ? artifact_->grammar().parse(pw) : grammar_.parse(pw);
+  }
+  bool trained() const {
+    return artifact_ ? artifact_->grammar().trained() : grammar_.trained();
+  }
+  std::uint64_t trainedPasswords() const {
+    return artifact_ ? artifact_->grammar().trainedPasswords()
+                     : grammar_.trainedPasswords();
+  }
+
+  /// True for artifact-backed (zero-copy) snapshots.
+  bool artifactBacked() const { return artifact_ != nullptr; }
 
   /// Read-only access to the full grammar (introspection, enumeration).
   /// Const methods only — the snapshot's immutability is the thread-safety
-  /// contract.
-  const FuzzyPsm& grammar() const { return grammar_; }
+  /// contract. Only valid for owned snapshots; throws Error when
+  /// artifactBacked() (materialize with FuzzyPsm::fromArtifact instead).
+  const FuzzyPsm& grammar() const;
 
  private:
   GrammarSnapshot(FuzzyPsm grammar, std::uint64_t generation);
+  GrammarSnapshot(std::shared_ptr<const GrammarArtifact> artifact,
+                  std::uint64_t generation);
 
-  FuzzyPsm grammar_;
+  FuzzyPsm grammar_;  // unused (empty) when artifact_ is set
+  std::shared_ptr<const GrammarArtifact> artifact_;
   std::uint64_t generation_;
 };
 

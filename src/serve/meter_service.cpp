@@ -22,6 +22,24 @@ MeterService::MeterService(FuzzyPsm grammar, MeterServiceConfig config)
   }
 }
 
+MeterService::MeterService(std::shared_ptr<const GrammarArtifact> artifact,
+                           MeterServiceConfig config)
+    : config_(config),
+      cache_(config.cacheCapacity == 0 ? 1 : config.cacheCapacity,
+             config.cacheShards) {
+  if (!artifact) {
+    throw InvalidArgument("MeterService: null artifact");
+  }
+  if (!artifact->grammar().trained()) {
+    throw NotTrained("MeterService: artifact grammar must be trained");
+  }
+  coldArtifact_ = std::move(artifact);
+  current_.store(GrammarSnapshot::fromArtifact(coldArtifact_, 0));
+  if (config_.backgroundPublisher) {
+    publisher_ = std::thread([this] { publisherLoop(); });
+  }
+}
+
 MeterService::~MeterService() {
   stopping_.store(true, std::memory_order_release);
   queue_.wake();
@@ -80,6 +98,12 @@ void MeterService::update(std::string_view pw, std::uint64_t n) {
 
 std::uint64_t MeterService::applyAndPublishLocked(
     const UpdateQueue::Batch& batch) {
+  if (coldArtifact_) {
+    // First mutating publish after an artifact cold start / rollout: pay
+    // the one-time materialization now, off the reader path.
+    master_ = FuzzyPsm::fromArtifact(*coldArtifact_);
+    coldArtifact_.reset();
+  }
   for (const auto& [pw, n] : batch) {
     master_.update(pw, n);
   }
@@ -94,6 +118,23 @@ std::uint64_t MeterService::publishNow() {
   const UpdateQueue::Batch batch = queue_.drain();
   if (batch.empty()) return current_.load()->generation();
   return applyAndPublishLocked(batch);
+}
+
+std::uint64_t MeterService::publishFromArtifact(
+    std::shared_ptr<const GrammarArtifact> artifact) {
+  if (!artifact) {
+    throw InvalidArgument("MeterService: null artifact");
+  }
+  if (!artifact->grammar().trained()) {
+    throw NotTrained("MeterService: artifact grammar must be trained");
+  }
+  const std::lock_guard<std::mutex> lock(masterMutex_);
+  coldArtifact_ = std::move(artifact);
+  master_ = FuzzyPsm();  // release the superseded grammar's memory
+  const std::uint64_t gen = nextGeneration_++;
+  current_.store(GrammarSnapshot::fromArtifact(coldArtifact_, gen));
+  publishCount_.fetch_add(1, std::memory_order_relaxed);
+  return gen;
 }
 
 void MeterService::publisherLoop() {

@@ -84,6 +84,13 @@ class MeterService {
   /// Throws NotTrained if the grammar has no counts.
   explicit MeterService(FuzzyPsm grammar, MeterServiceConfig config = {});
 
+  /// Cold-start path: serves generation 0 directly from a compiled .fpsmb
+  /// artifact (zero-copy, typically mmap'd) with no grammar materialized.
+  /// The expensive FuzzyPsm rebuild is deferred to the first publish that
+  /// must fold updates. Throws NotTrained on an untrained artifact.
+  explicit MeterService(std::shared_ptr<const GrammarArtifact> artifact,
+                        MeterServiceConfig config = {});
+
   /// Stops the background publisher. Pending queued updates that were
   /// never published are discarded (call publishNow() first to flush).
   ~MeterService();
@@ -117,6 +124,14 @@ class MeterService {
   /// publisher; safe to call concurrently with readers.
   std::uint64_t publishNow();
 
+  /// Replaces the served grammar with a compiled artifact (hot retrain
+  /// rollout): publishes an artifact-backed snapshot under the next
+  /// generation and discards the previous master grammar. Updates still
+  /// pending in the queue are NOT lost — they fold into the new grammar at
+  /// the next publish. Returns the published generation.
+  std::uint64_t publishFromArtifact(
+      std::shared_ptr<const GrammarArtifact> artifact);
+
   /// Current snapshot (pin it for consistent multi-call scoring).
   std::shared_ptr<const GrammarSnapshot> snapshot() const {
     return current_.load();
@@ -139,8 +154,11 @@ class MeterService {
 
   // Writer side. master_ is the only mutable grammar; it is touched solely
   // under masterMutex_ and copied (then frozen) to produce snapshots.
+  // While coldArtifact_ is set, master_ is empty and is materialized from
+  // the artifact lazily, at the first publish that folds updates.
   mutable std::mutex masterMutex_;
   FuzzyPsm master_;
+  std::shared_ptr<const GrammarArtifact> coldArtifact_;
   std::uint64_t nextGeneration_ = 1;
 
   // Reader side.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/chars.h"
+
 namespace fpsm {
 namespace {
 
@@ -38,6 +40,13 @@ Trie::NodeId Trie::findOrAddChild(NodeId node, char c) {
 
 bool Trie::insert(std::string_view word) {
   if (word.empty()) return false;
+  // Alphabet contract: printable ASCII only. Previously a word with a
+  // control or 8-bit byte was inserted as-is, silently widening the
+  // alphabet past what the header documents (and past what the flat
+  // binary format validates); such words are now rejected wholesale.
+  for (const char c : word) {
+    if (!isPrintableAscii(c)) return false;
+  }
   NodeId node = kRoot;
   for (char c : word) node = findOrAddChild(node, c);
   if (nodes_[node].terminal) return false;

@@ -24,7 +24,9 @@ class Trie {
 
   Trie() { nodes_.emplace_back(); }
 
-  /// Inserts a word. Empty words are ignored (the root is never terminal).
+  /// Inserts a word. Empty words are ignored (the root is never terminal),
+  /// and so is any word containing a byte outside printable ASCII
+  /// (0x20..0x7e) — the trie's alphabet contract (see the header comment).
   /// Returns true if the word was newly inserted.
   bool insert(std::string_view word);
 
@@ -47,7 +49,18 @@ class Trie {
   /// Number of allocated trie nodes (root included).
   std::size_t nodeCount() const { return nodes_.size(); }
 
+  /// Number of edges (= nodeCount() - 1; every non-root node has exactly
+  /// one incoming edge).
+  std::size_t edgeCount() const { return nodes_.size() - 1; }
+
   bool empty() const { return wordCount_ == 0; }
+
+  /// Visits the outgoing edges of `node` in ascending label order.
+  /// Used by the flat-trie compiler (trie/flat_trie.h).
+  template <typename Fn>
+  void forEachEdge(NodeId node, Fn&& fn) const {
+    for (const Edge& e : nodes_[node].edges) fn(e.label, e.target);
+  }
 
  private:
   struct Edge {

@@ -1,0 +1,601 @@
+// Test battery for the .fpsmb flat binary grammar artifact (src/artifact):
+//
+//   * corruption battery — every bit flip, truncation, and targeted field
+//     tamper must surface as a typed ArtifactError, never a crash, hang,
+//     or silent mis-load (run under asan/ubsan via the `artifact` label);
+//   * differential tests — FlatTrieView agrees with the pointer Trie on
+//     every traversal query, and full-meter scores from a compiled
+//     artifact are bit-identical to the grammar they were compiled from;
+//   * round-trip properties — binary round trips are byte-identical and
+//     the text form survives a text -> binary -> text cycle unchanged;
+//   * a golden fixture pinning the on-disk encoding across refactors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "artifact/checksum.h"
+#include "core/fuzzy_psm.h"
+#include "serve/meter_service.h"
+#include "trie/flat_trie.h"
+#include "trie/trie.h"
+#include "util/chars.h"
+#include "util/rng.h"
+
+namespace fpsm {
+namespace {
+
+using Bytes = std::vector<std::byte>;
+
+// ------------------------------------------------------------ grammar fixtures
+
+/// Small deterministic grammar exercising every production type: trie
+/// matches, capitalization, leet, the reverse rule, and L/D/S fallback.
+FuzzyPsm smallGrammar() {
+  FuzzyConfig cfg;
+  cfg.matchReverse = true;
+  FuzzyPsm psm(cfg);
+  for (const char* w :
+       {"password", "dragon", "monkey", "shadow", "master", "qwerty"}) {
+    psm.addBaseWord(w);
+  }
+  psm.update("password1", 5);
+  psm.update("Dr@gon99", 2);
+  psm.update("drowssap", 1);
+  psm.update("m0nkey!", 3);
+  psm.update("abc123", 4);
+  psm.update("Shadow2020", 1);
+  return psm;
+}
+
+/// Randomized trained grammar (same family as serialization_fuzz_test):
+/// random config, random base dictionary, and training passwords mixing
+/// exact/capitalized/leet/reversed/suffixed variants with fallback spans.
+FuzzyPsm randomGrammar(Rng& rng) {
+  FuzzyConfig cfg;
+  cfg.matchReverse = rng.chance(0.5);
+  cfg.retryTrieInsideRuns = rng.chance(0.3);
+  cfg.transformationPrior = rng.chance(0.5) ? 0.5 : 0.0;
+  FuzzyPsm psm(cfg);
+
+  const std::string letters = "abcdefgiostz";
+  auto randomWord = [&](std::size_t minLen, std::size_t maxLen) {
+    std::string w;
+    const std::size_t len = minLen + rng.below(maxLen - minLen + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      w.push_back(letters[rng.below(letters.size())]);
+    }
+    return w;
+  };
+
+  std::vector<std::string> baseWords;
+  const std::size_t nBase = 8 + rng.below(16);
+  for (std::size_t i = 0; i < nBase; ++i) {
+    baseWords.push_back(randomWord(3, 9));
+    psm.addBaseWord(baseWords.back());
+  }
+  const std::size_t nTraining = 40 + rng.below(60);
+  for (std::size_t i = 0; i < nTraining; ++i) {
+    std::string pw;
+    if (rng.chance(0.7)) {
+      pw = baseWords[rng.below(baseWords.size())];
+      if (rng.chance(0.3)) pw[0] = toUpper(pw[0]);
+      for (char& c : pw) {
+        if (rng.chance(0.15)) {
+          if (const auto partner = leetPartner(c)) c = *partner;
+        }
+      }
+      if (rng.chance(0.25)) std::reverse(pw.begin(), pw.end());
+      if (rng.chance(0.5)) pw += std::to_string(rng.below(1000));
+    } else {
+      pw = randomWord(3, 8);
+      if (rng.chance(0.4)) pw += std::to_string(rng.below(10000));
+      if (rng.chance(0.2)) pw += "!";
+    }
+    psm.update(pw, 1 + rng.below(9));
+  }
+  return psm;
+}
+
+// ----------------------------------------------------------- tamper utilities
+
+std::uint64_t readU64(const Bytes& b, std::size_t off) {
+  std::uint64_t v;
+  std::memcpy(&v, b.data() + off, 8);
+  return v;
+}
+
+void writeU32(Bytes& b, std::size_t off, std::uint32_t v) {
+  std::memcpy(b.data() + off, &v, 4);
+}
+
+void writeU64(Bytes& b, std::size_t off, std::uint64_t v) {
+  std::memcpy(b.data() + off, &v, 8);
+}
+
+constexpr std::size_t kPrelude =
+    kArtifactHeaderBytes + kArtifactSectionCount * kArtifactSectionEntryBytes;
+
+/// Recomputes every section checksum (from the current, possibly tampered
+/// geometry) and the header checksum, so a targeted tamper reaches the
+/// deep structural validation instead of dying at the checksum gate.
+void repairChecksums(Bytes& b) {
+  ASSERT_GE(b.size(), kPrelude);
+  for (std::uint32_t i = 0; i < kArtifactSectionCount; ++i) {
+    const std::size_t entry =
+        kArtifactHeaderBytes + i * kArtifactSectionEntryBytes;
+    const std::uint64_t offset = readU64(b, entry + 8);
+    const std::uint64_t bytes = readU64(b, entry + 16);
+    ASSERT_LE(offset + bytes, b.size());
+    writeU64(b, entry + 24, xxhash64(b.data() + offset, bytes));
+  }
+  writeU64(b, 32, 0);
+  writeU64(b, 32, xxhash64(b.data(), kPrelude));
+}
+
+/// The corruption-battery oracle: loading must throw ArtifactError —
+/// anything else (success, a different exception, a crash) is a failure.
+void expectRejected(Bytes bytes, const char* context) {
+  try {
+    (void)GrammarArtifact::fromBytes(std::move(bytes));
+    ADD_FAILURE() << context << ": corrupted artifact loaded cleanly";
+  } catch (const ArtifactError&) {
+    // typed rejection: exactly the contract
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << context << ": wrong exception type: " << e.what();
+  }
+}
+
+/// Typed variant: additionally pins the error code.
+void expectRejectedAs(Bytes bytes, ArtifactErrorCode code,
+                      const char* context) {
+  try {
+    (void)GrammarArtifact::fromBytes(std::move(bytes));
+    ADD_FAILURE() << context << ": corrupted artifact loaded cleanly";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(static_cast<int>(e.code()), static_cast<int>(code))
+        << context << ": rejected as [" << artifactErrorCodeName(e.code())
+        << "], expected [" << artifactErrorCodeName(code) << "]: "
+        << e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << context << ": wrong exception type: " << e.what();
+  }
+}
+
+// ----------------------------------------------------------------- happy path
+
+TEST(Artifact, CompilesAndLoadsFromBytes) {
+  const FuzzyPsm psm = smallGrammar();
+  const auto artifact = GrammarArtifact::fromBytes(compileArtifact(psm));
+  EXPECT_EQ(artifact->formatVersion(), kArtifactVersion);
+  EXPECT_FALSE(artifact->memoryMapped());
+  ASSERT_EQ(artifact->sections().size(), kArtifactSectionCount);
+  EXPECT_EQ(artifact->sections()[0].bytes, 152u);  // fixed Config size
+  const FlatGrammarView& g = artifact->grammar();
+  EXPECT_TRUE(g.trained());
+  EXPECT_EQ(g.trainedPasswords(), psm.trainedPasswords());
+  EXPECT_EQ(g.baseWordCount(), 6u);
+  EXPECT_EQ(g.baseDictionary().size(), psm.baseDictionary().size());
+}
+
+TEST(Artifact, OpensFromMmapFile) {
+  const FuzzyPsm psm = smallGrammar();
+  const std::string path = testing::TempDir() + "artifact_mmap_test.fpsmb";
+  writeArtifactFile(psm, path);
+  const auto artifact = GrammarArtifact::open(path);
+  EXPECT_TRUE(artifact->memoryMapped());
+  EXPECT_EQ(artifact->grammar().log2Prob("password1"),
+            psm.log2Prob("password1"));
+  std::remove(path.c_str());
+}
+
+TEST(Artifact, OpenMissingFileThrowsIoError) {
+  try {
+    (void)GrammarArtifact::open("/nonexistent/grammar.fpsmb");
+    FAIL() << "open() of a missing file succeeded";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(static_cast<int>(e.code()),
+              static_cast<int>(ArtifactErrorCode::Io));
+  }
+}
+
+TEST(Artifact, UntrainedGrammarRoundTrips) {
+  FuzzyPsm psm;  // base words but no training
+  psm.addBaseWord("password");
+  const Bytes bytes = compileArtifact(psm);
+  const auto artifact = GrammarArtifact::fromBytes(bytes);
+  EXPECT_FALSE(artifact->grammar().trained());
+  EXPECT_EQ(compileArtifact(FuzzyPsm::fromArtifact(*artifact)), bytes);
+}
+
+// ---------------------------------------------------------- corruption battery
+
+TEST(ArtifactCorruption, TruncationAtEveryLength) {
+  const Bytes full = compileArtifact(smallGrammar());
+  // Every prefix length through the prelude, then a stride through the
+  // payload (a payload truncation always breaks fileBytes first).
+  for (std::size_t keep = 0; keep < full.size();
+       keep += (keep < kPrelude ? 1 : 97)) {
+    expectRejected(Bytes(full.begin(), full.begin() + keep), "truncation");
+  }
+}
+
+TEST(ArtifactCorruption, BitFlipAtEveryPreludeOffset) {
+  const Bytes full = compileArtifact(smallGrammar());
+  ASSERT_GE(full.size(), kPrelude);
+  for (std::size_t off = 0; off < kPrelude; ++off) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = full;
+      mutated[off] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+      expectRejected(std::move(mutated), "prelude bit flip");
+    }
+  }
+}
+
+TEST(ArtifactCorruption, BitFlipsAtSeededRandomPayloadOffsets) {
+  const Bytes full = compileArtifact(smallGrammar());
+  ASSERT_GT(full.size(), kPrelude);
+  Rng rng(20260806);
+  for (int i = 0; i < 256; ++i) {
+    const std::size_t off =
+        kPrelude + rng.below(full.size() - kPrelude);
+    Bytes mutated = full;
+    mutated[off] ^=
+        std::byte{static_cast<unsigned char>(1u << rng.below(8))};
+    expectRejected(std::move(mutated), "payload bit flip");
+  }
+}
+
+TEST(ArtifactCorruption, TrailingGarbageRejected) {
+  Bytes full = compileArtifact(smallGrammar());
+  full.push_back(std::byte{0x42});
+  expectRejected(std::move(full), "trailing byte");  // fileBytes mismatch
+}
+
+// Targeted tampering: each mutation repairs the checksums afterwards, so
+// the load must be stopped by the *structural* validation layer it aims at.
+
+TEST(ArtifactCorruption, WrongMagic) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU32(b, 0, 0x46444550u);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadMagic, "magic");
+}
+
+TEST(ArtifactCorruption, UnsupportedVersion) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU32(b, 4, kArtifactVersion + 1);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadVersion, "version");
+}
+
+TEST(ArtifactCorruption, ByteSwappedEndianTag) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU32(b, 8, 0x04030201u);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadEndianness, "endian");
+}
+
+TEST(ArtifactCorruption, WrongSectionCount) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU32(b, 12, kArtifactSectionCount + 1);
+  // No checksum repair: a different sectionCount changes the prelude
+  // geometry, and the check must fire before the checksum is consulted.
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadHeader,
+                   "section count");
+}
+
+TEST(ArtifactCorruption, LyingFileBytes) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU64(b, 16, b.size() + 8);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::Truncated, "fileBytes");
+}
+
+TEST(ArtifactCorruption, NonzeroHeaderReserved) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU64(b, 24, 1);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadHeader, "reserved");
+}
+
+TEST(ArtifactCorruption, SectionIdOutOfOrder) {
+  Bytes b = compileArtifact(smallGrammar());
+  writeU32(b, kArtifactHeaderBytes, 2);  // first entry claims id 2
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadSectionTable,
+                   "section id");
+}
+
+TEST(ArtifactCorruption, OversizedTrieNodeCount) {
+  const FuzzyPsm psm = smallGrammar();
+  Bytes b = compileArtifact(psm);
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const std::size_t trieOff =
+      static_cast<std::size_t>(artifact->sections()[2].offset);
+  writeU32(b, trieOff, 0x7fffffffu);  // nodeCount far beyond the payload
+  repairChecksums(b);
+  expectRejected(std::move(b), "oversized node count");
+}
+
+TEST(ArtifactCorruption, EdgeTargetOutOfRange) {
+  const FuzzyPsm psm = smallGrammar();
+  Bytes b = compileArtifact(psm);
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const auto& trieSec = artifact->sections()[2];
+  const std::size_t nodeCount = artifact->grammar().baseDictionary().nodeCount();
+  // edgeTargets[0] sits after the 16-byte header and two u32[nodeCount].
+  const std::size_t targetsOff =
+      static_cast<std::size_t>(trieSec.offset) + 16 + 8 * nodeCount;
+  writeU32(b, targetsOff, 0xfffffff0u);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::OutOfRange,
+                   "edge target");
+}
+
+TEST(ArtifactCorruption, EdgeTargetPointingAtRoot) {
+  const FuzzyPsm psm = smallGrammar();
+  Bytes b = compileArtifact(psm);
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const auto& trieSec = artifact->sections()[2];
+  const std::size_t nodeCount = artifact->grammar().baseDictionary().nodeCount();
+  const std::size_t targetsOff =
+      static_cast<std::size_t>(trieSec.offset) + 16 + 8 * nodeCount;
+  writeU32(b, targetsOff, 0);  // a cycle through the root
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::OutOfRange, "root edge");
+}
+
+TEST(ArtifactCorruption, UnknownConfigFlagBits) {
+  Bytes b = compileArtifact(smallGrammar());
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const std::size_t cfgOff =
+      static_cast<std::size_t>(artifact->sections()[0].offset);
+  writeU32(b, cfgOff + 4, kArtifactKnownFlags + 1);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadSection,
+                   "unknown flags");
+}
+
+TEST(ArtifactCorruption, CapYesExceedsTotal) {
+  Bytes b = compileArtifact(smallGrammar());
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const std::size_t cfgOff =
+      static_cast<std::size_t>(artifact->sections()[0].offset);
+  writeU64(b, cfgOff + 16, artifact->grammar().capTotal() + 1);  // capYes
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadSection,
+                   "capYes > capTotal");
+}
+
+TEST(ArtifactCorruption, NonPrintableBaseWordByte) {
+  Bytes b = compileArtifact(smallGrammar());
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const auto& sec = artifact->sections()[1];
+  // Last byte of the section is inside the word pool.
+  b[static_cast<std::size_t>(sec.offset + sec.bytes) - 1] = std::byte{0x01};
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadSection,
+                   "non-printable base word");
+}
+
+TEST(ArtifactCorruption, StructureCountSumMismatch) {
+  Bytes b = compileArtifact(smallGrammar());
+  const auto artifact = GrammarArtifact::fromBytes(b);
+  const std::size_t secOff =
+      static_cast<std::size_t>(artifact->sections()[4].offset);
+  // counts[0] lives after distinct/reserved/total/poolBytes (24 bytes).
+  const std::uint64_t c0 = readU64(b, secOff + 24);
+  writeU64(b, secOff + 24, c0 + 1);
+  repairChecksums(b);
+  expectRejectedAs(std::move(b), ArtifactErrorCode::BadSection,
+                   "count sum");
+}
+
+// ------------------------------------------------------- trie differential
+
+TEST(ArtifactDifferential, FlatTrieMatchesPointerTrieOn10kWords) {
+  Rng rng(4242);
+  const std::string alphabet = "abcdefgh01@$";
+  auto randomWord = [&](std::size_t maxLen) {
+    std::string w;
+    const std::size_t len = 1 + rng.below(maxLen);
+    for (std::size_t i = 0; i < len; ++i) {
+      w.push_back(alphabet[rng.below(alphabet.size())]);
+    }
+    return w;
+  };
+
+  Trie trie;
+  for (int i = 0; i < 2000; ++i) trie.insert(randomWord(10));
+  const FlatTrie flat = FlatTrie::fromTrie(trie);
+  const FlatTrieView view = flat.view();
+  ASSERT_EQ(view.validate(), "");
+  ASSERT_EQ(view.size(), trie.size());
+  ASSERT_EQ(view.nodeCount(), trie.nodeCount());
+
+  for (int i = 0; i < 10000; ++i) {
+    const std::string probe = randomWord(12);
+    ASSERT_EQ(view.contains(probe), trie.contains(probe)) << probe;
+    const std::size_t from = rng.below(probe.size());
+    ASSERT_EQ(view.longestPrefix(probe, from), trie.longestPrefix(probe, from))
+        << probe << " from " << from;
+  }
+
+  // Node-by-node: same children, same terminal bits (ids are preserved).
+  for (Trie::NodeId node = 0; node < trie.nodeCount(); ++node) {
+    ASSERT_EQ(view.isTerminal(node), trie.isTerminal(node)) << node;
+    for (const char c : alphabet) {
+      ASSERT_EQ(view.child(node, c), trie.child(node, c))
+          << "node " << node << " char " << c;
+    }
+  }
+}
+
+// ------------------------------------------------------ full-meter differential
+
+TEST(ArtifactDifferential, ScoresBitIdenticalToSourceGrammar) {
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789@$!#";
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const FuzzyPsm psm = randomGrammar(rng);
+    const auto artifact = GrammarArtifact::fromBytes(compileArtifact(psm));
+    const FlatGrammarView& flat = artifact->grammar();
+    for (int i = 0; i < 1000; ++i) {
+      std::string pw;
+      const std::size_t len = 1 + rng.below(14);
+      for (std::size_t c = 0; c < len; ++c) {
+        pw.push_back(alphabet[rng.below(alphabet.size())]);
+      }
+      // EXPECT_EQ, not NEAR: the artifact carries the identical integer
+      // counts and the view replicates the float expressions operation for
+      // operation (covers -infinity too).
+      ASSERT_EQ(flat.log2Prob(pw), psm.log2Prob(pw))
+          << "seed " << seed << " pw " << pw;
+    }
+  }
+}
+
+TEST(ArtifactDifferential, TransformationProbesBitIdentical) {
+  const FuzzyPsm psm = smallGrammar();
+  const auto artifact = GrammarArtifact::fromBytes(compileArtifact(psm));
+  const FlatGrammarView& flat = artifact->grammar();
+  // One probe per production type: exact, capitalized, leet, reversed,
+  // fallback, and an unseen (−inf) password.
+  for (const char* pw :
+       {"password1", "Password1", "p@ssword1", "drowssap", "abc123",
+        "Dr@gon99", "m0nkey!", "Shadow2020", "zzZZ##99xx"}) {
+    EXPECT_EQ(flat.log2Prob(pw), psm.log2Prob(pw)) << pw;
+    const FuzzyParse a = flat.parse(pw);
+    const FuzzyParse b = psm.parse(pw);
+    EXPECT_EQ(a.structure, b.structure) << pw;
+    EXPECT_EQ(flat.derivationLog2Prob(a), psm.derivationLog2Prob(b)) << pw;
+  }
+}
+
+// ------------------------------------------------------- round-trip properties
+
+TEST(ArtifactRoundTrip, BinaryRoundTripIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    const FuzzyPsm psm = randomGrammar(rng);
+    const Bytes first = compileArtifact(psm);
+    const auto artifact = GrammarArtifact::fromBytes(first);
+    const FuzzyPsm back = FuzzyPsm::fromArtifact(*artifact);
+    EXPECT_EQ(compileArtifact(back), first) << "seed " << seed;
+  }
+}
+
+TEST(ArtifactRoundTrip, TextBinaryTextPreservesTextForm) {
+  for (std::uint64_t seed = 20; seed <= 26; ++seed) {
+    Rng rng(seed);
+    const FuzzyPsm psm = randomGrammar(rng);
+    std::stringstream before;
+    psm.save(before);
+    const auto artifact = GrammarArtifact::fromBytes(compileArtifact(psm));
+    std::stringstream after;
+    FuzzyPsm::fromArtifact(*artifact).save(after);
+    EXPECT_EQ(after.str(), before.str()) << "seed " << seed;
+  }
+}
+
+TEST(ArtifactRoundTrip, SaveBinaryLoadBinaryStreams) {
+  const FuzzyPsm psm = smallGrammar();
+  std::stringstream stream;
+  psm.saveBinary(stream);
+  const FuzzyPsm back = FuzzyPsm::loadBinary(stream);
+  EXPECT_EQ(back.log2Prob("password1"), psm.log2Prob("password1"));
+  EXPECT_EQ(back.trainedPasswords(), psm.trainedPasswords());
+}
+
+// ------------------------------------------------------------- golden fixture
+
+#ifdef FPSM_TEST_DATA_DIR
+TEST(ArtifactGolden, EncodingMatchesCheckedInFixture) {
+  const std::string path =
+      std::string(FPSM_TEST_DATA_DIR) + "/golden_small.fpsmb";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden fixture " << path
+                  << " — regenerate with: fuzzypsm compile";
+  const std::string raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  Bytes onDisk(raw.size());
+  std::memcpy(onDisk.data(), raw.data(), raw.size());
+
+  // The fixture pins the v1 encoding: if this fails and the change is
+  // intentional, bump kArtifactVersion and regenerate the fixture.
+  EXPECT_EQ(compileArtifact(smallGrammar()), onDisk);
+
+  const auto artifact = GrammarArtifact::open(path);
+  EXPECT_EQ(artifact->grammar().log2Prob("password1"),
+            smallGrammar().log2Prob("password1"));
+}
+#endif
+
+// --------------------------------------------------------- serve integration
+
+TEST(ArtifactServe, SnapshotFromArtifactScoresIdentically) {
+  const FuzzyPsm psm = smallGrammar();
+  const auto artifact = GrammarArtifact::fromBytes(compileArtifact(psm));
+  const auto snap = GrammarSnapshot::fromArtifact(artifact, 7);
+  EXPECT_TRUE(snap->artifactBacked());
+  EXPECT_EQ(snap->generation(), 7u);
+  EXPECT_EQ(snap->log2Prob("password1"), psm.log2Prob("password1"));
+  EXPECT_THROW(snap->grammar(), Error);
+}
+
+TEST(ArtifactServe, MeterServiceColdStartsFromArtifact) {
+  const FuzzyPsm psm = smallGrammar();
+  const auto artifact = GrammarArtifact::fromBytes(compileArtifact(psm));
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(artifact, cfg);
+  EXPECT_TRUE(service.snapshot()->artifactBacked());
+  EXPECT_EQ(service.score("password1").bits, psm.strengthBits("password1"));
+
+  // First update publish materializes the master grammar and folds the
+  // queued occurrences; scores evolve exactly as with an owned grammar.
+  FuzzyPsm expected = psm;
+  expected.update("password1", 3);
+  service.update("password1", 3);
+  EXPECT_EQ(service.publishNow(), 1u);
+  EXPECT_FALSE(service.snapshot()->artifactBacked());
+  EXPECT_EQ(service.score("password1").bits,
+            expected.strengthBits("password1"));
+}
+
+TEST(ArtifactServe, PublishFromArtifactKeepsPendingUpdates) {
+  const FuzzyPsm first = smallGrammar();
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(first, cfg);
+
+  service.update("qwerty12", 2);  // stays queued across the rollout
+
+  Rng rng(5);
+  const FuzzyPsm second = randomGrammar(rng);
+  const auto artifact = GrammarArtifact::fromBytes(compileArtifact(second));
+  const std::uint64_t gen = service.publishFromArtifact(artifact);
+  EXPECT_EQ(service.generation(), gen);
+  EXPECT_TRUE(service.snapshot()->artifactBacked());
+  EXPECT_EQ(service.score("password1").bits,
+            second.strengthBits("password1"));
+  EXPECT_EQ(service.pendingUpdates(), 2u);
+
+  // The queued update folds into the *new* grammar at the next publish.
+  FuzzyPsm expected = FuzzyPsm::fromArtifact(*artifact);
+  expected.update("qwerty12", 2);
+  EXPECT_GT(service.publishNow(), gen);
+  EXPECT_EQ(service.pendingUpdates(), 0u);
+  EXPECT_EQ(service.score("qwerty12").bits,
+            expected.strengthBits("qwerty12"));
+}
+
+}  // namespace
+}  // namespace fpsm

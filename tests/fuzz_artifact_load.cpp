@@ -1,0 +1,200 @@
+// Fuzz harness for the .fpsmb artifact loader.
+//
+// Contract under test (src/artifact/format.h): feeding GrammarArtifact::
+// fromBytes ANY byte sequence either yields a valid artifact or throws
+// ArtifactError. Any other exception, crash, hang, or sanitizer report is
+// a bug. A successfully loaded artifact must additionally survive a
+// scoring call — validation is only worth anything if the bytes it admits
+// are actually safe to traverse.
+//
+// Two ways to run it:
+//   * coverage-guided: compile with clang's libFuzzer
+//     (clang++ -fsanitize=fuzzer,address -DFPSM_LIBFUZZER ...); the
+//     LLVMFuzzerTestOneInput entry point below is the standard ABI.
+//   * standalone (what `ctest -L artifact` runs when FPSM_FUZZERS=ON,
+//     and the only option under gcc): the bundled main() replays any
+//     corpus files given as arguments, then runs a seeded mutation storm
+//     for --seconds N (default 30) starting from freshly compiled valid
+//     artifacts. Mutations repair the checksums half the time so inputs
+//     reach the structural validation layers instead of dying at the
+//     checksum gate.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "artifact/checksum.h"
+#include "core/fuzzy_psm.h"
+#include "util/rng.h"
+
+namespace {
+
+using fpsm::GrammarArtifact;
+
+/// One fuzz probe: must load cleanly or throw ArtifactError; nothing else.
+void probe(const std::uint8_t* data, std::size_t size) {
+  std::vector<std::byte> bytes(size);
+  if (size != 0) std::memcpy(bytes.data(), data, size);
+  try {
+    const auto artifact = GrammarArtifact::fromBytes(std::move(bytes));
+    // Admitted bytes must be traversable: exercise the scoring hot path,
+    // which runs with no per-access bounds checks by design.
+    (void)artifact->grammar().log2Prob("password1");
+    (void)artifact->grammar().parse("Dr@gon99!x");
+  } catch (const fpsm::ArtifactError&) {
+    // the typed rejection path — exactly the contract
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FUZZ BUG: non-ArtifactError escaped: %s\n",
+                 e.what());
+    std::terminate();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  probe(data, size);
+  return 0;
+}
+
+#ifndef FPSM_LIBFUZZER
+
+namespace {
+
+/// Recomputes section + header checksums when the (possibly mutated)
+/// section table still describes in-bounds payloads; otherwise leaves the
+/// buffer alone. Mirrors the repair helper in artifact_test.cpp.
+void tryRepairChecksums(std::vector<std::uint8_t>& b) {
+  constexpr std::size_t kPrelude =
+      fpsm::kArtifactHeaderBytes +
+      fpsm::kArtifactSectionCount * fpsm::kArtifactSectionEntryBytes;
+  if (b.size() < kPrelude) return;
+  auto u64At = [&](std::size_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, b.data() + off, 8);
+    return v;
+  };
+  for (std::uint32_t i = 0; i < fpsm::kArtifactSectionCount; ++i) {
+    const std::size_t entry =
+        fpsm::kArtifactHeaderBytes + i * fpsm::kArtifactSectionEntryBytes;
+    const std::uint64_t offset = u64At(entry + 8);
+    const std::uint64_t bytes = u64At(entry + 16);
+    if (offset > b.size() || bytes > b.size() - offset) return;
+    const std::uint64_t sum = fpsm::xxhash64(
+        reinterpret_cast<const std::byte*>(b.data() + offset), bytes);
+    std::memcpy(b.data() + entry + 24, &sum, 8);
+  }
+  const std::uint64_t zero = 0;
+  std::memcpy(b.data() + 32, &zero, 8);
+  const std::uint64_t head = fpsm::xxhash64(
+      reinterpret_cast<const std::byte*>(b.data()), kPrelude);
+  std::memcpy(b.data() + 32, &head, 8);
+}
+
+std::vector<std::uint8_t> seedArtifact(std::uint64_t seed) {
+  fpsm::Rng rng(seed);
+  fpsm::FuzzyConfig cfg;
+  cfg.matchReverse = rng.chance(0.5);
+  fpsm::FuzzyPsm psm(cfg);
+  const char* words[] = {"password", "dragon", "monkey", "shadow"};
+  for (const char* w : words) psm.addBaseWord(w);
+  for (int i = 0; i < 20; ++i) {
+    std::string pw = words[rng.below(4)];
+    if (rng.chance(0.5)) pw += std::to_string(rng.below(100));
+    psm.update(pw, 1 + rng.below(4));
+  }
+  const std::vector<std::byte> bytes = fpsm::compileArtifact(psm);
+  std::vector<std::uint8_t> out(bytes.size());
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double seconds = 30.0;
+  std::vector<const char*> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else {
+      corpus.push_back(argv[i]);
+    }
+  }
+
+  // Replay any corpus files first (crash reproduction).
+  for (const char* path : corpus) {
+    std::FILE* f = std::fopen(path, "rb");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::vector<std::uint8_t> data;
+    std::uint8_t buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      data.insert(data.end(), buf, buf + n);
+    }
+    std::fclose(f);
+    probe(data.data(), data.size());
+    std::printf("replayed %s (%zu bytes): ok\n", path, data.size());
+  }
+  if (!corpus.empty() && seconds <= 0) return 0;
+
+  // Seeded mutation storm. clock() is fine here: single-threaded, and the
+  // budget only bounds the run — determinism comes from the Rng seed.
+  fpsm::Rng rng(0xf52bu);
+  const std::clock_t deadline =
+      std::clock() + static_cast<std::clock_t>(seconds * CLOCKS_PER_SEC);
+  std::uint64_t iterations = 0;
+  std::vector<std::uint8_t> base = seedArtifact(1);
+  while (std::clock() < deadline) {
+    if (rng.chance(0.01)) base = seedArtifact(rng.below(1000));
+    std::vector<std::uint8_t> input;
+    switch (rng.below(5)) {
+      case 0:  // pure noise
+        input.resize(rng.below(512));
+        for (auto& byte : input) {
+          byte = static_cast<std::uint8_t>(rng.below(256));
+        }
+        break;
+      case 1:  // truncation
+        input.assign(base.begin(),
+                     base.begin() + rng.below(base.size() + 1));
+        break;
+      case 2:  // growth: valid artifact + trailing garbage
+        input = base;
+        for (std::uint64_t i = rng.below(64); i-- > 0;) {
+          input.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        }
+        break;
+      default: {  // bit flips / byte stomps, 1..16 sites
+        input = base;
+        const std::uint64_t edits = 1 + rng.below(16);
+        for (std::uint64_t i = 0; i < edits; ++i) {
+          auto& target = input[rng.below(input.size())];
+          target = rng.chance(0.5)
+                       ? static_cast<std::uint8_t>(
+                             target ^ (1u << rng.below(8)))
+                       : static_cast<std::uint8_t>(rng.below(256));
+        }
+        break;
+      }
+    }
+    if (rng.chance(0.5)) tryRepairChecksums(input);
+    probe(input.data(), input.size());
+    ++iterations;
+  }
+  std::printf("fuzz_artifact_load: %llu inputs, 0 escapes\n",
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}
+
+#endif  // FPSM_LIBFUZZER

@@ -39,6 +39,32 @@ TEST(Trie, EmptyInsertIgnored) {
   EXPECT_EQ(t.size(), 0u);
 }
 
+// Regression: insert used to accept words containing control or 8-bit
+// bytes, silently widening the alphabet past the printable-ASCII contract
+// (and past what the .fpsmb artifact validation admits). Such words must
+// now be rejected wholesale, leaving the trie untouched.
+TEST(Trie, InsertRejectsNonPrintableBytes) {
+  Trie t;
+  ASSERT_TRUE(t.insert("clean"));
+  const std::size_t nodesBefore = t.nodeCount();
+
+  EXPECT_FALSE(t.insert(std::string("pa\x01ss", 5)));   // control byte
+  EXPECT_FALSE(t.insert(std::string("pa\tss", 5)));     // tab
+  EXPECT_FALSE(t.insert(std::string("pass\n", 5)));     // newline
+  EXPECT_FALSE(t.insert(std::string("p\xc3\xa9ss", 5)));  // UTF-8 e-acute
+  EXPECT_FALSE(t.insert(std::string("\x7fpass", 5)));   // DEL
+  EXPECT_FALSE(t.insert(std::string(1, '\x80')));       // bare 8-bit byte
+
+  // Wholesale rejection: no prefix of a rejected word leaks in.
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.nodeCount(), nodesBefore);
+  EXPECT_EQ(t.longestPrefix("password"), 0u);
+
+  // The boundary characters of the printable range stay accepted.
+  EXPECT_TRUE(t.insert(" pad "));  // 0x20
+  EXPECT_TRUE(t.insert("~~~"));    // 0x7e
+}
+
 TEST(Trie, LongestPrefixPicksLongestTerminal) {
   Trie t;
   t.insert("123");

@@ -28,6 +28,21 @@
 //       score passwords sampled from the grammar while a writer floods
 //       update() and the background publisher swaps snapshots. Prints
 //       aggregate scores/sec, publishes, and cache hit rate.
+//
+//   fuzzypsm compile --grammar GRAMMAR --out FILE.fpsmb
+//   fuzzypsm compile --base BASE.txt --training TRAIN.txt --out FILE.fpsmb
+//            [--reverse] [--prior P] [--min-base-len N]
+//       Compile a grammar (an existing text/binary file, or trained fresh
+//       from two password files) into the flat binary .fpsmb artifact that
+//       loads zero-copy via mmap (src/artifact/format.h).
+//
+//   fuzzypsm inspect --artifact FILE.fpsmb
+//       Validate an artifact and print its header, section table, and a
+//       grammar summary.
+//
+// Every command taking --grammar accepts both the text format and a
+// compiled .fpsmb artifact; the file type is sniffed from the leading
+// magic bytes.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -39,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "artifact/artifact.h"
 #include "core/explain.h"
 #include "serve/meter_service.h"
 #include "core/fuzzy_psm.h"
@@ -104,11 +120,25 @@ Dataset loadFile(const std::string& path, const char* what) {
   return ds;
 }
 
-FuzzyPsm loadGrammar(const Args& args) {
-  const std::string path = args.requiredOption("grammar");
+bool isArtifactFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open grammar: " + path);
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  return in.gcount() == sizeof(magic) && magic == kArtifactMagic;
+}
+
+FuzzyPsm loadGrammarFile(const std::string& path) {
+  if (isArtifactFile(path)) {
+    return FuzzyPsm::fromArtifact(*GrammarArtifact::open(path));
+  }
   std::ifstream in(path);
   if (!in) throw IoError("cannot open grammar: " + path);
   return FuzzyPsm::load(in);
+}
+
+FuzzyPsm loadGrammar(const Args& args) {
+  return loadGrammarFile(args.requiredOption("grammar"));
 }
 
 int cmdTrain(const Args& args) {
@@ -301,10 +331,88 @@ int cmdServeBench(const Args& args) {
   return 0;
 }
 
+int cmdCompile(const Args& args) {
+  const std::string out = args.requiredOption("out");
+  FuzzyPsm psm = [&] {
+    if (const auto g = args.option("grammar"); !g.empty()) {
+      return loadGrammarFile(g);
+    }
+    // Fresh training, same knobs as `train`.
+    FuzzyConfig config;
+    config.matchReverse = args.flag("reverse");
+    if (const auto p = args.option("prior"); !p.empty()) {
+      config.transformationPrior = std::stod(p);
+    }
+    if (const auto m = args.option("min-base-len"); !m.empty()) {
+      config.minBaseWordLen = std::stoul(m);
+    }
+    FuzzyPsm fresh(config);
+    fresh.loadBaseDictionary(loadFile(args.requiredOption("base"), "base"));
+    fresh.train(loadFile(args.requiredOption("training"), "training"));
+    return fresh;
+  }();
+  writeArtifactFile(psm, out);
+  // Re-open through the validating loader: a compile that produces an
+  // unreadable artifact must fail here, not at serving time.
+  const auto artifact = GrammarArtifact::open(out);
+  std::fprintf(stderr,
+               "artifact written to %s (%s bytes, %s base words, "
+               "%s structures)\n",
+               out.c_str(), fmtCount(artifact->sizeBytes()).c_str(),
+               fmtCount(artifact->grammar().baseWordCount()).c_str(),
+               fmtCount(artifact->grammar().structures().distinct()).c_str());
+  return 0;
+}
+
+int cmdInspect(const Args& args) {
+  std::string path = args.option("artifact");
+  if (path.empty() && !args.positional.empty()) path = args.positional[0];
+  if (path.empty()) throw InvalidArgument("missing --artifact FILE.fpsmb");
+  const auto artifact = GrammarArtifact::open(path);
+  const FlatGrammarView& g = artifact->grammar();
+
+  std::printf("%s: fpsmb version %u, %s bytes%s\n", path.c_str(),
+              artifact->formatVersion(),
+              fmtCount(artifact->sizeBytes()).c_str(),
+              artifact->memoryMapped() ? " (mmap)" : "");
+  std::printf("sections:\n");
+  for (const auto& s : artifact->sections()) {
+    std::printf("  %-12s offset=%-10llu bytes=%-10llu xxh64=%016llx\n",
+                artifactSectionName(s.id),
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.bytes),
+                static_cast<unsigned long long>(s.checksum));
+  }
+  std::printf("config: minBaseWordLen=%zu cap=%d leet=%d retry=%d "
+              "reverse=%d prior=%g\n",
+              g.config().minBaseWordLen, g.config().matchCapitalization,
+              g.config().matchLeet, g.config().retryTrieInsideRuns,
+              g.config().matchReverse, g.config().transformationPrior);
+  std::printf("base dictionary: %s words, trie %s nodes / %s edges\n",
+              fmtCount(g.baseWordCount()).c_str(),
+              fmtCount(g.baseDictionary().nodeCount()).c_str(),
+              fmtCount(g.baseDictionary().edgeCount()).c_str());
+  std::printf("structures: %s distinct / %s total\n",
+              fmtCount(g.structures().distinct()).c_str(),
+              fmtCount(g.structures().total()).c_str());
+  std::uint64_t segDistinct = 0;
+  for (const auto& [len, table] : g.segmentTables()) {
+    (void)len;
+    segDistinct += table.distinct();
+  }
+  std::printf("segments: %s tables, %s distinct forms\n",
+              fmtCount(g.segmentTables().size()).c_str(),
+              fmtCount(segDistinct).c_str());
+  std::printf("trained passwords: %s%s\n",
+              fmtCount(g.trainedPasswords()).c_str(),
+              g.trained() ? "" : " (NOT trained)");
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: fuzzypsm <train|measure|suggest|explain|guesses|"
-               "generate|serve-bench> [options]\n"
+               "generate|serve-bench|compile|inspect> [options]\n"
                "see the header of tools/fuzzypsm_cli.cpp for details\n");
   return 2;
 }
@@ -322,6 +430,8 @@ int main(int argc, char** argv) {
     if (args.command == "guesses") return cmdGuesses(args);
     if (args.command == "generate") return cmdGenerate(args);
     if (args.command == "serve-bench") return cmdServeBench(args);
+    if (args.command == "compile") return cmdCompile(args);
+    if (args.command == "inspect") return cmdInspect(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
