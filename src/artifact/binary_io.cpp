@@ -14,6 +14,7 @@
 #include "artifact/checksum.h"
 #include "core/fuzzy_psm.h"
 #include "trie/flat_trie.h"
+#include "util/check.h"
 
 namespace fpsm {
 namespace {
@@ -35,6 +36,9 @@ class Blob {
 
  private:
   void raw(const void* p, std::size_t n) {
+    // p may be null when n == 0 (e.g. the label array of an empty
+    // reversed trie); memcpy forbids null even then.
+    if (n == 0) return;
     const std::size_t at = bytes_.size();
     bytes_.resize(at + n);
     std::memcpy(bytes_.data() + at, p, n);
@@ -156,6 +160,7 @@ void FuzzyPsm::saveBinary(std::ostream& out) const {
   {
     Blob& b = sections[4];
     const auto entries = sortedEntries(structures_);
+    FPSM_CHECK(entries.size() <= 0xffffffffull);
     b.u32(static_cast<std::uint32_t>(entries.size()));
     b.u32(0);  // reserved
     writeCountTable(b, entries, structures_.total());
@@ -171,11 +176,17 @@ void FuzzyPsm::saveBinary(std::ostream& out) const {
       lengths.push_back(len);
     }
     std::sort(lengths.begin(), lengths.end());
+    FPSM_CHECK(lengths.size() <= 0xffffffffull);
     b.u32(static_cast<std::uint32_t>(lengths.size()));
     b.u32(0);  // reserved
     for (const std::size_t len : lengths) {
       const SegmentTable& table = segments_.at(len);
       const auto entries = sortedEntries(table);
+      // Lengths come from parsed passwords (bounded by password length)
+      // and entry counts from distinct forms; both must fit the u32 wire
+      // fields or the table would round-trip corrupted.
+      FPSM_CHECK(len <= 0xffffffffull);
+      FPSM_CHECK(entries.size() <= 0xffffffffull);
       b.u32(static_cast<std::uint32_t>(len));
       b.u32(static_cast<std::uint32_t>(entries.size()));
       writeCountTable(b, entries, table.total());
@@ -214,6 +225,7 @@ void FuzzyPsm::saveBinary(std::ostream& out) const {
   const std::uint64_t headerChecksum = xxhash64(file.data(), preludeBytes);
   std::memcpy(file.data() + 32, &headerChecksum, 8);
   for (std::size_t i = 0; i < kArtifactSectionCount; ++i) {
+    if (sections[i].size() == 0) continue;  // memcpy forbids null src
     std::memcpy(file.data() + offsets[i], sections[i].bytes().data(),
                 sections[i].size());
   }

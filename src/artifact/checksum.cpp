@@ -44,7 +44,12 @@ inline std::uint64_t mergeRound(std::uint64_t acc, std::uint64_t val) {
 
 std::uint64_t xxhash64(const void* data, std::size_t len,
                        std::uint64_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
+  // xxhash64(nullptr, 0) is a legal call (hash of the empty message), but
+  // arithmetic on a null pointer is UB; hash an empty non-null buffer
+  // instead. Same digest: no byte is ever read either way.
+  static constexpr unsigned char kEmpty = 0;
+  const auto* p = len == 0 ? &kEmpty
+                           : static_cast<const unsigned char*>(data);
   const unsigned char* const end = p + len;
   std::uint64_t h;
 
@@ -71,12 +76,15 @@ std::uint64_t xxhash64(const void* data, std::size_t len,
   }
 
   h += static_cast<std::uint64_t>(len);
-  while (p + 8 <= end) {
+  // Remaining-byte comparisons are phrased as `end - p` differences:
+  // forming `p + 8` with fewer than 8 bytes left would point past
+  // one-past-the-end, which is UB even without a dereference.
+  while (end - p >= 8) {
     h ^= round64(0, read64(p));
     h = rotl(h, 27) * kPrime1 + kPrime4;
     p += 8;
   }
-  if (p + 4 <= end) {
+  if (end - p >= 4) {
     h ^= static_cast<std::uint64_t>(read32(p)) * kPrime1;
     h = rotl(h, 23) * kPrime2 + kPrime3;
     p += 4;

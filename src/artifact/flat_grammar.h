@@ -20,6 +20,7 @@
 #include "core/fuzzy_parse.h"
 #include "trie/flat_trie.h"
 #include "util/chars.h"
+#include "util/check.h"
 
 namespace fpsm {
 
@@ -53,9 +54,13 @@ class FlatTableView {
 
   /// Entry access in lexicographic form order (inspection, materialize).
   std::string_view form(std::uint32_t i) const {
+    FPSM_DCHECK(i < distinct_);
     return std::string_view(pool_ + strOff_[i], strLen_[i]);
   }
-  std::uint64_t countAt(std::uint32_t i) const { return counts_[i]; }
+  std::uint64_t countAt(std::uint32_t i) const {
+    FPSM_DCHECK(i < distinct_);
+    return counts_[i];
+  }
 
  private:
   const std::uint64_t* counts_ = nullptr;
@@ -94,6 +99,7 @@ class FlatGrammarView {
 
   std::uint64_t baseWordCount() const { return baseWordCount_; }
   std::string_view baseWord(std::uint64_t i) const {
+    FPSM_DCHECK(i < baseWordCount_);
     return std::string_view(baseWordPool_ + baseWordOff_[i],
                             baseWordOff_[i + 1] - baseWordOff_[i]);
   }

@@ -4,6 +4,7 @@
 
 #include "trie/flat_trie.h"
 #include "util/chars.h"
+#include "util/check.h"
 #include "util/error.h"
 
 namespace fpsm {
@@ -181,6 +182,14 @@ FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw) const {
     }
     result.segments.push_back(std::move(seg));
   }
+  // Tiling postcondition: the segments must cover pw exactly, gap-free.
+  // Every downstream consumer (derivation scoring, explain, suggest)
+  // assumes it; a violation means the matcher mis-advanced `i`.
+  FPSM_DCHECK([&] {
+    std::size_t covered = 0;
+    for (const auto& s : result.segments) covered += s.length();
+    return covered == pw.size();
+  }());
   for (const auto& s : result.segments) {
     result.structure.push_back('B');
     result.structure += std::to_string(s.length());

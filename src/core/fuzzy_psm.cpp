@@ -97,6 +97,14 @@ const SegmentTable* FuzzyPsm::segmentTable(std::size_t len) const {
   return it == segments_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::size_t> FuzzyPsm::segmentLengths() const {
+  std::vector<std::size_t> lengths;
+  lengths.reserve(segments_.size());
+  for (const auto& [len, table] : segments_) lengths.push_back(len);
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
 double FuzzyPsm::capProb(bool yes) const {
   const double prior = config_.transformationPrior;
   const double denom = static_cast<double>(capTotal_) + 2.0 * prior;

@@ -88,6 +88,22 @@ class FuzzyPsm : public ProbabilisticModel {
   std::uint64_t trainedPasswords() const { return trainedPasswords_; }
   bool trained() const { return structures_.total() > 0; }
 
+  // --- raw counters (analysis/grammar_lint.h audits these directly) ------
+  std::uint64_t capYesCount() const { return capYes_; }
+  std::uint64_t capTotalCount() const { return capTotal_; }
+  std::uint64_t revYesCount() const { return revYes_; }
+  std::uint64_t revTotalCount() const { return revTotal_; }
+  std::uint64_t leetYesCount(int rule) const {
+    return leetYes_[static_cast<std::size_t>(rule)];
+  }
+  std::uint64_t leetTotalCount(int rule) const {
+    return leetTotal_[static_cast<std::size_t>(rule)];
+  }
+  /// Ascending lengths n for which a B_n table exists (possibly empty).
+  std::vector<std::size_t> segmentLengths() const;
+  /// The reversed-word trie (empty unless config().matchReverse).
+  const Trie& reversedDictionary() const { return reversedTrie_; }
+
   /// log2 probability of one explicit derivation (structure + segments +
   /// transformation decisions). Measuring is derivationLog2Prob(parse(pw)).
   double derivationLog2Prob(const FuzzyParse& parse) const;

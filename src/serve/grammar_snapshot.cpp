@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "analysis/grammar_lint.h"
 #include "util/error.h"
 
 namespace fpsm {
@@ -25,9 +26,17 @@ std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::freeze(
 
 std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::fromArtifact(
     std::shared_ptr<const GrammarArtifact> artifact,
-    std::uint64_t generation) {
+    std::uint64_t generation, bool lint) {
   if (!artifact) {
     throw InvalidArgument("GrammarSnapshot::fromArtifact: null artifact");
+  }
+  if (lint) {
+    // Pre-publish gate: the artifact's bytes were already checksum- and
+    // bounds-validated, but semantic defects (dangling B_n references,
+    // counter drift) pass the loader and would poison every reader of this
+    // snapshot. Fail closed before the grammar becomes reachable.
+    LintReport report = GrammarValidator().lint(artifact->grammar());
+    if (!report.ok()) throw GrammarLintError(std::move(report));
   }
   return std::shared_ptr<const GrammarSnapshot>(
       new GrammarSnapshot(std::move(artifact), generation));

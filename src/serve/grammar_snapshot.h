@@ -44,9 +44,16 @@ class GrammarSnapshot {
   /// Wraps a validated artifact without copying it: scoring runs directly
   /// on the (possibly memory-mapped) flat grammar. The artifact is kept
   /// alive for the snapshot's lifetime.
+  ///
+  /// With `lint` (the default) the grammar is audited by GrammarValidator
+  /// before it can be published: the byte loader only proves the buffer is
+  /// well-formed, not that its semantics are scoreable (see
+  /// analysis/grammar_lint.h). Throws GrammarLintError — carrying the full
+  /// report — on any Error-severity diagnostic. `lint = false` is the
+  /// tooling override for inspecting known-bad grammars.
   static std::shared_ptr<const GrammarSnapshot> fromArtifact(
       std::shared_ptr<const GrammarArtifact> artifact,
-      std::uint64_t generation);
+      std::uint64_t generation, bool lint = true);
 
   /// Monotonic publish counter: 0 for the initial snapshot, +1 per publish.
   std::uint64_t generation() const { return generation_; }

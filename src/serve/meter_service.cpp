@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/chars.h"
+#include "util/check.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -34,7 +35,8 @@ MeterService::MeterService(std::shared_ptr<const GrammarArtifact> artifact,
     throw NotTrained("MeterService: artifact grammar must be trained");
   }
   coldArtifact_ = std::move(artifact);
-  current_.store(GrammarSnapshot::fromArtifact(coldArtifact_, 0));
+  current_.store(
+      GrammarSnapshot::fromArtifact(coldArtifact_, 0, config_.lintArtifacts));
   if (config_.backgroundPublisher) {
     publisher_ = std::thread([this] { publisherLoop(); });
   }
@@ -107,6 +109,10 @@ std::uint64_t MeterService::applyAndPublishLocked(
   for (const auto& [pw, n] : batch) {
     master_.update(pw, n);
   }
+  // Folding a non-empty batch into a served grammar can never leave it
+  // untrained; publishing an untrained snapshot would make every reader
+  // throw NotTrained, so treat it as corruption rather than continue.
+  FPSM_CHECK(master_.trained());
   const std::uint64_t gen = nextGeneration_++;
   current_.store(GrammarSnapshot::freeze(master_, gen));
   publishCount_.fetch_add(1, std::memory_order_relaxed);
@@ -129,10 +135,15 @@ std::uint64_t MeterService::publishFromArtifact(
     throw NotTrained("MeterService: artifact grammar must be trained");
   }
   const std::lock_guard<std::mutex> lock(masterMutex_);
+  // Build (and lint) the snapshot before touching any service state: a
+  // GrammarLintError here must leave the previous grammar serving.
+  const std::uint64_t gen = nextGeneration_;
+  auto snapshot =
+      GrammarSnapshot::fromArtifact(artifact, gen, config_.lintArtifacts);
+  ++nextGeneration_;
   coldArtifact_ = std::move(artifact);
   master_ = FuzzyPsm();  // release the superseded grammar's memory
-  const std::uint64_t gen = nextGeneration_++;
-  current_.store(GrammarSnapshot::fromArtifact(coldArtifact_, gen));
+  current_.store(std::move(snapshot));
   publishCount_.fetch_add(1, std::memory_order_relaxed);
   return gen;
 }

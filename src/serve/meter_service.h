@@ -63,6 +63,12 @@ struct MeterServiceConfig {
   /// Run the publisher on a background thread. Off = deterministic mode:
   /// snapshots change only on explicit publishNow() (tests, benchmarks).
   bool backgroundPublisher = true;
+  /// Lint artifacts (analysis/grammar_lint.h) before they are served, in
+  /// both the cold-start constructor and publishFromArtifact(). A grammar
+  /// with Error-severity diagnostics is rejected with GrammarLintError
+  /// before any reader can observe it. Off is a tooling override for
+  /// serving known-bad grammars (e.g. reproducing a production incident).
+  bool lintArtifacts = true;
 };
 
 class MeterService {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace fpsm {
 
 ScoreCache::ScoreCache(std::size_t capacity, std::size_t shards) {
@@ -15,6 +17,7 @@ ScoreCache::ScoreCache(std::size_t capacity, std::size_t shards) {
 }
 
 ScoreCache::Shard& ScoreCache::shardFor(std::string_view pw) const {
+  FPSM_DCHECK(!shards_.empty());
   return *shards_[StringHash{}(pw) % shards_.size()];
 }
 

@@ -1,11 +1,15 @@
 #include "trie/flat_trie.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "util/check.h"
 
 namespace fpsm {
 
 std::optional<FlatTrieView::NodeId> FlatTrieView::child(NodeId node,
                                                         char c) const {
+  FPSM_DCHECK(node < nodeCount_);
   const std::uint32_t begin = edgeBegin_[node];
   const std::uint32_t n = edgeMeta_[node] & kEdgeCountMask;
   const char* lo = edgeLabels_ + begin;
@@ -82,6 +86,10 @@ FlatTrie FlatTrie::fromTrie(const Trie& t) {
   FlatTrie out;
   const std::size_t nodes = t.nodeCount();
   const std::size_t edges = t.edgeCount();
+  // The flat encoding indexes nodes and edges with uint32; a trie that
+  // outgrew that could only be flattened by silently truncating ids.
+  FPSM_CHECK(nodes <= std::numeric_limits<std::uint32_t>::max());
+  FPSM_CHECK(edges <= FlatTrieView::kEdgeCountMask);
   out.edgeBegin_.resize(nodes);
   out.edgeMeta_.resize(nodes);
   out.edgeTargets_.reserve(edges);

@@ -82,6 +82,17 @@ class FlatTrieView {
   /// else a description of the first defect found.
   std::string validate() const;
 
+  // Raw array reads for the grammar linter (analysis/grammar_lint.h),
+  // which re-derives the invariants validate() asserts but reports every
+  // defect with a typed locus. Unchecked: the caller must stay within
+  // nodeCount()/edgeCount().
+  std::uint32_t rawEdgeBegin(NodeId node) const { return edgeBegin_[node]; }
+  std::uint32_t rawEdgeMeta(NodeId node) const { return edgeMeta_[node]; }
+  NodeId rawEdgeTarget(std::uint32_t edge) const {
+    return edgeTargets_[edge];
+  }
+  char rawEdgeLabel(std::uint32_t edge) const { return edgeLabels_[edge]; }
+
  private:
   const std::uint32_t* edgeBegin_ = nullptr;
   const std::uint32_t* edgeMeta_ = nullptr;

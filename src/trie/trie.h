@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/check.h"
+
 namespace fpsm {
 
 class Trie {
@@ -41,7 +43,10 @@ class Trie {
   std::optional<NodeId> child(NodeId node, char c) const;
 
   /// True if `node` ends a stored word.
-  bool isTerminal(NodeId node) const { return nodes_[node].terminal; }
+  bool isTerminal(NodeId node) const {
+    FPSM_DCHECK(node < nodes_.size());
+    return nodes_[node].terminal;
+  }
 
   /// Number of stored words.
   std::size_t size() const { return wordCount_; }
@@ -59,6 +64,7 @@ class Trie {
   /// Used by the flat-trie compiler (trie/flat_trie.h).
   template <typename Fn>
   void forEachEdge(NodeId node, Fn&& fn) const {
+    FPSM_DCHECK(node < nodes_.size());
     for (const Edge& e : nodes_[node].edges) fn(e.label, e.target);
   }
 

@@ -1,0 +1,46 @@
+// Lightweight invariant-check macros for hot-path boundaries.
+//
+// FPSM_CHECK(cond)         always on: prints the failed expression with its
+//                          location to stderr and aborts. For invariants
+//                          whose violation means memory is already suspect —
+//                          continuing (or even throwing through arbitrary
+//                          stack frames) would turn a detected corruption
+//                          into an undetected one. Fail-closed, like
+//                          ArtifactError one level down.
+// FPSM_DCHECK(cond)        on in Debug/Sanitize builds (no NDEBUG), compiled
+//                          out in Release/RelWithDebInfo. For checks too hot
+//                          to pay for in production: per-node trie bounds,
+//                          per-entry table indices, parse tiling.
+//
+// Both macros are statement-shaped (`FPSM_CHECK(x);`). A compiled-out
+// FPSM_DCHECK still parses its condition inside sizeof, so variables used
+// only in checks never trigger -Wunused under -Werror Release builds, and
+// the condition cannot bit-rot silently.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpsm::internal {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "FPSM_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fpsm::internal
+
+#define FPSM_CHECK(cond)                                     \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      ::fpsm::internal::checkFailed(#cond, __FILE__, __LINE__); \
+    }                                                        \
+  } while (false)
+
+#if defined(NDEBUG) && !defined(FPSM_FORCE_DCHECKS)
+#define FPSM_DCHECK(cond) ((void)sizeof((cond) ? 1 : 0))
+#else
+#define FPSM_DCHECK(cond) FPSM_CHECK(cond)
+#endif

@@ -40,6 +40,14 @@
 //       Validate an artifact and print its header, section table, and a
 //       grammar summary.
 //
+//   fuzzypsm lint-grammar --grammar GRAMMAR [--json] [--tolerance T]
+//            [--no-spot-checks] [--stride N]
+//       Audit a grammar's semantics (analysis/grammar_lint.h): probability
+//       mass conservation, dangling B_n references, transformation
+//       probabilities in [0,1], trie invariants. Works on both the text
+//       format and a compiled .fpsmb (audited zero-copy). Exit code is the
+//       worst severity found: 0 clean/info, 1 warnings, 2 errors.
+//
 // Every command taking --grammar accepts both the text format and a
 // compiled .fpsmb artifact; the file type is sniffed from the leading
 // magic bytes.
@@ -54,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/grammar_lint.h"
 #include "artifact/artifact.h"
 #include "core/explain.h"
 #include "serve/meter_service.h"
@@ -409,10 +418,34 @@ int cmdInspect(const Args& args) {
   return 0;
 }
 
+int cmdLintGrammar(const Args& args) {
+  std::string path = args.option("grammar");
+  if (path.empty() && !args.positional.empty()) path = args.positional[0];
+  if (path.empty()) throw InvalidArgument("missing --grammar GRAMMAR");
+
+  LintOptions options;
+  if (const auto t = args.option("tolerance"); !t.empty()) {
+    options.massTolerance = std::stod(t);
+  }
+  if (args.flag("no-spot-checks")) options.spotChecks = false;
+  if (const auto s = args.option("stride"); !s.empty()) {
+    options.spotCheckStride = std::stoul(s);
+  }
+
+  const LintReport report = lintGrammarFile(path, options);
+  if (args.flag("json")) {
+    std::printf("%s\n", report.renderJson().c_str());
+  } else {
+    std::printf("%s", report.render().c_str());
+  }
+  return static_cast<int>(report.worst());
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: fuzzypsm <train|measure|suggest|explain|guesses|"
-               "generate|serve-bench|compile|inspect> [options]\n"
+               "generate|serve-bench|compile|inspect|lint-grammar> "
+               "[options]\n"
                "see the header of tools/fuzzypsm_cli.cpp for details\n");
   return 2;
 }
@@ -432,6 +465,7 @@ int main(int argc, char** argv) {
     if (args.command == "serve-bench") return cmdServeBench(args);
     if (args.command == "compile") return cmdCompile(args);
     if (args.command == "inspect") return cmdInspect(args);
+    if (args.command == "lint-grammar") return cmdLintGrammar(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
