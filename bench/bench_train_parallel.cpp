@@ -1,0 +1,177 @@
+// Sharded-training speedup: wall-clock time to count a synthesized
+// ~1M-password corpus at 1/2/4/8 threads, against the 1-thread baseline
+// (DESIGN.md §10).
+//
+// Beyond the timing table this is a determinism check at benchmark scale:
+// every configuration's merged counts are compiled to .fpsmb bytes and
+// compared against the 1-thread artifact — a mismatch fails the bench with
+// a non-zero exit. Results are also written machine-readable to
+// ./BENCH_train.json for CI trend tracking.
+//
+// Speedup is bounded by physical cores; on a single-core host every row
+// degenerates to ~1x (the json records hardware_concurrency so readers can
+// judge the ceiling).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "artifact/artifact.h"
+#include "bench_common.h"
+#include "core/fuzzy_psm.h"
+#include "train/sharded_trainer.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "util/wordlists.h"
+
+using namespace fpsm;
+
+namespace {
+
+FuzzyPsm makeBase() {
+  FuzzyConfig config;
+  config.matchReverse = true;
+  FuzzyPsm psm(config);
+  for (const auto w : words::commonPasswords()) psm.addBaseWord(w);
+  for (const auto w : words::englishWords()) psm.addBaseWord(w);
+  for (const auto w : words::englishNames()) psm.addBaseWord(w);
+  for (const auto w : words::pinyinWords()) psm.addBaseWord(w);
+  for (const auto w : words::keyboardWalks()) psm.addBaseWord(w);
+  return psm;
+}
+
+/// Synthesizes a training corpus shaped like real leaks: dictionary words
+/// with mangling (suffix digits, capitalization, leet), pure-digit idioms,
+/// and unmatchable random runs that exercise the L/D/S fallback.
+std::vector<Dataset::Entry> synthesizeCorpus(std::size_t n) {
+  const auto common = words::commonPasswords();
+  const auto english = words::englishWords();
+  const auto names = words::englishNames();
+  const auto digits = words::digitStrings();
+  Rng rng(20160628);  // the paper's DSN year+month+day
+  std::vector<Dataset::Entry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string pw;
+    switch (rng.below(8)) {
+      case 0: pw = std::string(common[rng.below(common.size())]); break;
+      case 1: pw = std::string(english[rng.below(english.size())]); break;
+      case 2:
+        pw = std::string(english[rng.below(english.size())]) +
+             std::to_string(rng.below(10000));
+        break;
+      case 3: {
+        pw = std::string(names[rng.below(names.size())]);
+        pw[0] = static_cast<char>(pw[0] - 'a' + 'A');
+        pw += std::to_string(1950 + rng.below(70));
+        break;
+      }
+      case 4: pw = std::string(digits[rng.below(digits.size())]); break;
+      case 5: {
+        pw = std::string(english[rng.below(english.size())]);
+        for (auto& c : pw) {
+          if (c == 'a') c = '@';
+          if (c == 'o') c = '0';
+        }
+        break;
+      }
+      case 6:
+        pw = std::string(common[rng.below(common.size())]) + "!";
+        break;
+      default: {
+        pw.clear();
+        const std::size_t len = 6 + rng.below(6);
+        for (std::size_t k = 0; k < len; ++k) {
+          pw += static_cast<char>('!' + rng.below(94));
+        }
+        break;
+      }
+    }
+    entries.push_back(Dataset::Entry{pw, 1 + rng.below(3)});
+  }
+  return entries;
+}
+
+std::string artifactBytes(const FuzzyPsm& base, const GrammarCounts& counts) {
+  std::ostringstream out;
+  writeArtifact(out, base.config(), base.baseWords(), base.baseDictionary(),
+                base.reversedDictionary(), counts);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::scaleFromArgs(argc, argv, 1.0);
+  const auto entryCount =
+      static_cast<std::size_t>(1'000'000 * scale);
+
+  std::printf("sharded training speedup (DESIGN.md §10)\n");
+  std::printf("corpus: %zu synthesized entries, hardware_concurrency=%u\n",
+              entryCount, std::thread::hardware_concurrency());
+
+  const FuzzyPsm base = makeBase();
+  const auto entries = synthesizeCorpus(entryCount);
+
+  struct Row {
+    unsigned threads;
+    double ms;
+    double speedup;
+  };
+  std::vector<Row> rows;
+  std::string reference;
+  bool byteIdentical = true;
+
+  std::printf("\n%8s %12s %9s  artifact\n", "threads", "train ms", "speedup");
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    TrainOptions options;
+    options.threads = threads;
+    options.lintShards = false;  // measure counting, not diagnostics
+    const ShardedTrainer trainer(base, options);
+
+    Timer timer;
+    const GrammarCounts counts = trainer.countEntries(entries);
+    const double ms = timer.millis();
+
+    const std::string bytes = artifactBytes(base, counts);
+    if (threads == 1) reference = bytes;
+    const bool same = bytes == reference;
+    byteIdentical = byteIdentical && same;
+
+    const double speedup = rows.empty() ? 1.0 : rows.front().ms / ms;
+    rows.push_back(Row{threads, ms, speedup});
+    std::printf("%8u %12.1f %8.2fx  %s\n", threads, ms, speedup,
+                same ? "byte-identical" : "MISMATCH");
+  }
+
+  std::ofstream json("BENCH_train.json");
+  json << "{\n";
+  json << "  \"bench\": \"train_parallel\",\n";
+  json << "  \"entries\": " << entryCount << ",\n";
+  json << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n";
+  json << "  \"baseline_ms\": " << rows.front().ms << ",\n";
+  json << "  \"byte_identical\": " << (byteIdentical ? "true" : "false")
+       << ",\n";
+  json << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json << "    {\"threads\": " << rows[i].threads
+         << ", \"ms\": " << rows[i].ms
+         << ", \"speedup\": " << rows[i].speedup << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+  json.close();
+  std::printf("\nwrote BENCH_train.json\n");
+
+  if (!byteIdentical) {
+    std::fprintf(stderr,
+                 "FAIL: artifacts differ across thread counts — the "
+                 "deterministic-merge contract is broken\n");
+    return 1;
+  }
+  return 0;
+}

@@ -473,25 +473,24 @@ std::string leetLocus(int rule) {
 
 }  // namespace
 
-LintReport GrammarValidator::lint(const FuzzyPsm& psm) const {
-  LintReport out;
-  const FuzzyConfig& config = psm.config();
-
-  lintTransformRule("config.cap", psm.capYesCount(), psm.capTotalCount(),
+bool GrammarValidator::lintCountsCore(const GrammarCounts& counts,
+                                      const FuzzyConfig& config,
+                                      LintReport& out) const {
+  lintTransformRule("config.cap", counts.capYes(), counts.capTotal(),
                     config.transformationPrior, out);
   if (config.matchReverse) {
-    lintTransformRule("config.reverse", psm.revYesCount(),
-                      psm.revTotalCount(), config.transformationPrior, out);
+    lintTransformRule("config.reverse", counts.revYes(),
+                      counts.revTotal(), config.transformationPrior, out);
   }
   for (int r = 0; r < kNumLeetRules; ++r) {
-    lintTransformRule(leetLocus(r), psm.leetYesCount(r),
-                      psm.leetTotalCount(r), config.transformationPrior, out);
+    lintTransformRule(leetLocus(r), counts.leetYes(r),
+                      counts.leetTotal(r), config.transformationPrior, out);
   }
 
-  if (!psm.trained()) {
+  if (counts.structures().total() == 0) {
     out.add(LintCode::NotTrained, LintSeverity::Warning, "structures",
             "grammar carries no counts; every score would throw NotTrained");
-    return out;
+    return false;
   }
 
   // Base structures: every key must decode, and every referenced B_n table
@@ -499,7 +498,7 @@ LintReport GrammarValidator::lint(const FuzzyPsm& psm) const {
   // against segments that can never match (silent -inf for live passwords).
   std::uint64_t structSum = 0;
   bool structOverflow = false;
-  psm.structures().forEach([&](std::string_view key, std::uint64_t count) {
+  counts.structures().forEach([&](std::string_view key, std::uint64_t count) {
     const std::string loc = "structures[" + std::string(key) + "]";
     if (count == 0) {
       out.add(LintCode::ZeroCountEntry, LintSeverity::Error, loc,
@@ -517,7 +516,7 @@ LintReport GrammarValidator::lint(const FuzzyPsm& psm) const {
       return;
     }
     for (const std::size_t len : lengths) {
-      const SegmentTable* table = psm.segmentTable(len);
+      const SegmentTable* table = counts.segmentTable(len);
       if (table == nullptr || table->empty()) {
         out.add(LintCode::DanglingSegmentRef, LintSeverity::Error, loc,
                 "references B_" + std::to_string(len) +
@@ -528,17 +527,17 @@ LintReport GrammarValidator::lint(const FuzzyPsm& psm) const {
   if (structOverflow) {
     out.add(LintCode::MassNotConserved, LintSeverity::Error, "structures",
             "sum of structure counts overflows 64 bits");
-  } else if (structSum != psm.structures().total()) {
+  } else if (structSum != counts.structures().total()) {
     out.add(LintCode::MassNotConserved, LintSeverity::Error, "structures",
             "counts sum to " + std::to_string(structSum) +
                 " but table total is " +
-                std::to_string(psm.structures().total()));
+                std::to_string(counts.structures().total()));
   }
 
   // Per-length segment tables.
   std::uint64_t segmentOccurrences = 0;
-  for (const std::size_t len : psm.segmentLengths()) {
-    const SegmentTable& table = *psm.segmentTable(len);
+  for (const std::size_t len : counts.segmentLengths()) {
+    const SegmentTable& table = *counts.segmentTable(len);
     const std::string loc = segLocus(len);
     if (table.empty()) {
       out.add(LintCode::EmptyTable,
@@ -581,31 +580,44 @@ LintReport GrammarValidator::lint(const FuzzyPsm& psm) const {
   // update(); drift means the grammar was assembled by something else (a
   // tampered text save, a buggy migration) and transformation probabilities
   // no longer reflect the corpus.
-  if (psm.structures().total() != psm.trainedPasswords()) {
+  if (counts.structures().total() != counts.trainedPasswords()) {
     out.add(LintCode::CountInconsistency, LintSeverity::Warning,
             "structures",
-            "structure mass " + std::to_string(psm.structures().total()) +
+            "structure mass " + std::to_string(counts.structures().total()) +
                 " != trained password count " +
-                std::to_string(psm.trainedPasswords()));
+                std::to_string(counts.trainedPasswords()));
   }
-  if (segmentOccurrences != psm.capTotalCount()) {
+  if (segmentOccurrences != counts.capTotal()) {
     out.add(LintCode::CountInconsistency, LintSeverity::Warning,
             "config.cap",
             "capitalization decisions " +
-                std::to_string(psm.capTotalCount()) +
+                std::to_string(counts.capTotal()) +
                 " != segment occurrences " +
                 std::to_string(segmentOccurrences));
   }
-  if (config.matchReverse && psm.revTotalCount() != psm.capTotalCount()) {
+  if (config.matchReverse && counts.revTotal() != counts.capTotal()) {
     out.add(LintCode::CountInconsistency, LintSeverity::Warning,
             "config.reverse",
-            "reverse decisions " + std::to_string(psm.revTotalCount()) +
+            "reverse decisions " + std::to_string(counts.revTotal()) +
                 " != capitalization decisions " +
-                std::to_string(psm.capTotalCount()));
+                std::to_string(counts.capTotal()));
   }
 
+  return true;
+}
+
+LintReport GrammarValidator::lint(const GrammarCounts& counts,
+                                  const FuzzyConfig& config) const {
+  LintReport out;
+  lintCountsCore(counts, config, out);
+  return out;
+}
+
+LintReport GrammarValidator::lint(const FuzzyPsm& psm) const {
+  LintReport out;
+  if (!lintCountsCore(psm.counts(), psm.config(), out)) return out;
   lintTrie("trie", psm.baseDictionary(), out);
-  if (config.matchReverse) {
+  if (psm.config().matchReverse) {
     lintTrie("reversedTrie", psm.reversedDictionary(), out);
   }
   return out;

@@ -46,7 +46,9 @@ class FuzzyPsm;
 class FlatGrammarView;
 class FlatTableView;
 class FlatTrieView;
+class GrammarCounts;
 class Trie;
+struct FuzzyConfig;
 
 /// Stable diagnostic codes. The corruption battery asserts on the exact
 /// code, so renaming or renumbering is a breaking change; append only.
@@ -150,6 +152,14 @@ class GrammarValidator {
   /// Audits a live (or text-loaded) grammar.
   LintReport lint(const FuzzyPsm& psm) const;
 
+  /// Audits a bare counts bundle against the config it was counted under —
+  /// the same transform-rule, structure, segment-table, and cross-counter
+  /// checks as lint(FuzzyPsm), minus the trie audits (a GrammarCounts
+  /// carries no dictionary). The sharded trainer runs this per shard in
+  /// debug builds, before merging, so a counting defect is pinned to the
+  /// shard that produced it.
+  LintReport lint(const GrammarCounts& counts, const FuzzyConfig& config) const;
+
   /// Audits the zero-copy view over a validated .fpsmb buffer.
   LintReport lint(const FlatGrammarView& view) const;
 
@@ -181,6 +191,14 @@ class GrammarValidator {
                          LintReport& out) const;
 
  private:
+  /// Shared body of lint(FuzzyPsm) and lint(GrammarCounts, config): all
+  /// counts-level checks, in the exact order and with the exact loci the
+  /// corruption battery asserts on. Returns false on the NotTrained early
+  /// exit so lint(FuzzyPsm) knows to skip the trie audits, matching the
+  /// historical behavior.
+  bool lintCountsCore(const GrammarCounts& counts, const FuzzyConfig& config,
+                      LintReport& out) const;
+
   LintOptions options_;
 };
 

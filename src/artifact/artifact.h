@@ -29,6 +29,9 @@
 namespace fpsm {
 
 class FuzzyPsm;
+class GrammarCounts;
+class Trie;
+struct FuzzyConfig;
 
 /// One entry of the validated section table (inspection/tooling).
 struct ArtifactSectionInfo {
@@ -72,6 +75,18 @@ class GrammarArtifact {
   FlatGrammarView view_;
   std::vector<ArtifactSectionInfo> sections_;
 };
+
+/// Writes a .fpsmb artifact from the grammar's constituent parts: config,
+/// base dictionary (word list + tries), and a GrammarCounts bundle. This is
+/// the primitive every compile path funnels through — FuzzyPsm::saveBinary
+/// passes its own state, and the sharded trainer (src/train/) passes merged
+/// shard counts directly, skipping the text round trip. Deterministic: the
+/// artifact is a pure function of the arguments (entries are emitted in
+/// canonical lexicographic order), so counts assembled from any shard
+/// partitioning serialize byte-identically.
+void writeArtifact(std::ostream& out, const FuzzyConfig& config,
+                   const std::vector<std::string>& baseWords, const Trie& trie,
+                   const Trie& reversedTrie, const GrammarCounts& counts);
 
 /// Compiles a trained grammar into .fpsmb bytes. Deterministic: the same
 /// grammar (same insertion/training sequence) produces identical bytes.

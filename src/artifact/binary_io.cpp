@@ -102,34 +102,36 @@ void writeTrie(Blob& out, const Trie& trie) {
 
 }  // namespace
 
-void FuzzyPsm::saveBinary(std::ostream& out) const {
+void writeArtifact(std::ostream& out, const FuzzyConfig& config,
+                   const std::vector<std::string>& baseWords, const Trie& trie,
+                   const Trie& reversedTrie, const GrammarCounts& counts) {
   Blob sections[kArtifactSectionCount];
 
   // Config (fixed 152 bytes).
   {
     Blob& b = sections[0];
-    if (config_.minBaseWordLen > 0xffffffffull) {
+    if (config.minBaseWordLen > 0xffffffffull) {
       throw Error("artifact writer: minBaseWordLen exceeds u32");
     }
-    b.u32(static_cast<std::uint32_t>(config_.minBaseWordLen));
+    b.u32(static_cast<std::uint32_t>(config.minBaseWordLen));
     std::uint32_t flags = 0;
-    if (config_.matchCapitalization) flags |= kArtifactFlagMatchCapitalization;
-    if (config_.matchLeet) flags |= kArtifactFlagMatchLeet;
-    if (config_.retryTrieInsideRuns) flags |= kArtifactFlagRetryTrieInsideRuns;
-    if (config_.matchReverse) flags |= kArtifactFlagMatchReverse;
+    if (config.matchCapitalization) flags |= kArtifactFlagMatchCapitalization;
+    if (config.matchLeet) flags |= kArtifactFlagMatchLeet;
+    if (config.retryTrieInsideRuns) flags |= kArtifactFlagRetryTrieInsideRuns;
+    if (config.matchReverse) flags |= kArtifactFlagMatchReverse;
     b.u32(flags);
-    b.f64(config_.transformationPrior);
-    b.u64(capYes_);
-    b.u64(capTotal_);
-    b.u64(revYes_);
-    b.u64(revTotal_);
+    b.f64(config.transformationPrior);
+    b.u64(counts.capYes());
+    b.u64(counts.capTotal());
+    b.u64(counts.revYes());
+    b.u64(counts.revTotal());
     for (int r = 0; r < kNumLeetRules; ++r) {
-      b.u64(leetYes_[static_cast<std::size_t>(r)]);
+      b.u64(counts.leetYes(r));
     }
     for (int r = 0; r < kNumLeetRules; ++r) {
-      b.u64(leetTotal_[static_cast<std::size_t>(r)]);
+      b.u64(counts.leetTotal(r));
     }
-    b.u64(trainedPasswords_);
+    b.u64(counts.trainedPasswords());
   }
 
   // BaseWords, in insertion order: reloading replays the same addBaseWord
@@ -138,49 +140,43 @@ void FuzzyPsm::saveBinary(std::ostream& out) const {
   {
     Blob& b = sections[1];
     std::uint64_t poolBytes = 0;
-    for (const auto& w : baseWords_) poolBytes += w.size();
+    for (const auto& w : baseWords) poolBytes += w.size();
     if (poolBytes > 0xffffffffull) {
       throw Error("artifact writer: base word pool exceeds 4 GiB");
     }
-    b.u64(baseWords_.size());
+    b.u64(baseWords.size());
     b.u64(poolBytes);
     std::uint32_t off = 0;
-    for (const auto& w : baseWords_) {
+    for (const auto& w : baseWords) {
       b.u32(off);
       off += static_cast<std::uint32_t>(w.size());
     }
     b.u32(off);
-    for (const auto& w : baseWords_) b.chars(w.data(), w.size());
+    for (const auto& w : baseWords) b.chars(w.data(), w.size());
   }
 
-  writeTrie(sections[2], trie_);
-  writeTrie(sections[3], reversedTrie_);
+  writeTrie(sections[2], trie);
+  writeTrie(sections[3], reversedTrie);
 
   // Structures.
   {
     Blob& b = sections[4];
-    const auto entries = sortedEntries(structures_);
+    const auto entries = sortedEntries(counts.structures());
     FPSM_CHECK(entries.size() <= 0xffffffffull);
     b.u32(static_cast<std::uint32_t>(entries.size()));
     b.u32(0);  // reserved
-    writeCountTable(b, entries, structures_.total());
+    writeCountTable(b, entries, counts.structures().total());
   }
 
   // Segment tables in ascending length order.
   {
     Blob& b = sections[5];
-    std::vector<std::size_t> lengths;
-    lengths.reserve(segments_.size());
-    for (const auto& [len, table] : segments_) {
-      (void)table;
-      lengths.push_back(len);
-    }
-    std::sort(lengths.begin(), lengths.end());
+    const std::vector<std::size_t> lengths = counts.segmentLengths();
     FPSM_CHECK(lengths.size() <= 0xffffffffull);
     b.u32(static_cast<std::uint32_t>(lengths.size()));
     b.u32(0);  // reserved
     for (const std::size_t len : lengths) {
-      const SegmentTable& table = segments_.at(len);
+      const SegmentTable& table = *counts.segmentTable(len);
       const auto entries = sortedEntries(table);
       // Lengths come from parsed passwords (bounded by password length)
       // and entry counts from distinct forms; both must fit the u32 wire
@@ -232,7 +228,11 @@ void FuzzyPsm::saveBinary(std::ostream& out) const {
 
   out.write(reinterpret_cast<const char*>(file.data()),
             static_cast<std::streamsize>(file.size()));
-  if (!out) throw IoError("FuzzyPsm::saveBinary: write failed");
+  if (!out) throw IoError("writeArtifact: write failed");
+}
+
+void FuzzyPsm::saveBinary(std::ostream& out) const {
+  writeArtifact(out, config_, baseWords_, trie_, reversedTrie_, counts_);
 }
 
 FuzzyPsm FuzzyPsm::loadBinary(std::istream& in) {
@@ -255,26 +255,27 @@ FuzzyPsm FuzzyPsm::fromArtifact(const GrammarArtifact& artifact) {
   for (std::uint64_t i = 0; i < v.baseWordCount(); ++i) {
     psm.addBaseWord(v.baseWord(i));
   }
-  psm.capYes_ = v.capYes();
-  psm.capTotal_ = v.capTotal();
-  psm.revYes_ = v.revYes();
-  psm.revTotal_ = v.revTotal();
+  GrammarCounts& counts = psm.counts_;
+  counts.capYes_ = v.capYes();
+  counts.capTotal_ = v.capTotal();
+  counts.revYes_ = v.revYes();
+  counts.revTotal_ = v.revTotal();
   for (int r = 0; r < kNumLeetRules; ++r) {
     const auto i = static_cast<std::size_t>(r);
-    psm.leetYes_[i] = v.leetYes(r);
-    psm.leetTotal_[i] = v.leetTotal(r);
+    counts.leetYes_[i] = v.leetYes(r);
+    counts.leetTotal_[i] = v.leetTotal(r);
   }
   const FlatTableView& structures = v.structures();
   for (std::uint32_t i = 0; i < structures.distinct(); ++i) {
-    psm.structures_.add(structures.form(i), structures.countAt(i));
+    counts.structures_.add(structures.form(i), structures.countAt(i));
   }
   for (const auto& [len, table] : v.segmentTables()) {
-    SegmentTable& dst = psm.segments_[len];
+    SegmentTable& dst = counts.segments_[len];
     for (std::uint32_t i = 0; i < table.distinct(); ++i) {
       dst.add(table.form(i), table.countAt(i));
     }
   }
-  psm.trainedPasswords_ = v.trainedPasswords();
+  counts.trainedPasswords_ = v.trainedPasswords();
   return psm;
 }
 

@@ -67,24 +67,7 @@ FuzzyParse FuzzyPsm::parse(std::string_view pw) const {
 
 void FuzzyPsm::update(std::string_view pw, std::uint64_t n) {
   if (n == 0) return;
-  const FuzzyParse p = parse(pw);
-  structures_.add(p.structure, n);
-  for (const auto& seg : p.segments) {
-    segments_[seg.length()].add(seg.base, n);
-    capTotal_ += n;
-    if (seg.capitalized) capYes_ += n;
-    if (config_.matchReverse) {
-      revTotal_ += n;
-      if (seg.reversed) revYes_ += n;
-    }
-    for (const auto& site : seg.leetSites) {
-      leetTotal_[static_cast<std::size_t>(site.rule)] += n;
-      if (site.transformed) {
-        leetYes_[static_cast<std::size_t>(site.rule)] += n;
-      }
-    }
-  }
-  trainedPasswords_ += n;
+  counts_.addParse(parse(pw), n, config_.matchReverse);
 }
 
 void FuzzyPsm::train(const Dataset& training) {
@@ -92,49 +75,41 @@ void FuzzyPsm::train(const Dataset& training) {
       [this](std::string_view pw, std::uint64_t c) { update(pw, c); });
 }
 
-const SegmentTable* FuzzyPsm::segmentTable(std::size_t len) const {
-  const auto it = segments_.find(len);
-  return it == segments_.end() ? nullptr : &it->second;
-}
-
-std::vector<std::size_t> FuzzyPsm::segmentLengths() const {
-  std::vector<std::size_t> lengths;
-  lengths.reserve(segments_.size());
-  for (const auto& [len, table] : segments_) lengths.push_back(len);
-  std::sort(lengths.begin(), lengths.end());
-  return lengths;
-}
-
 double FuzzyPsm::capProb(bool yes) const {
   const double prior = config_.transformationPrior;
-  const double denom = static_cast<double>(capTotal_) + 2.0 * prior;
+  const std::uint64_t yesCount = counts_.capYes();
+  const std::uint64_t total = counts_.capTotal();
+  const double denom = static_cast<double>(total) + 2.0 * prior;
   if (denom <= 0.0) return 1.0;  // no information: neutral factor
   const double numer =
-      (yes ? static_cast<double>(capYes_)
-           : static_cast<double>(capTotal_ - capYes_)) +
+      (yes ? static_cast<double>(yesCount)
+           : static_cast<double>(total - yesCount)) +
       prior;
   return numer / denom;
 }
 
 double FuzzyPsm::leetProb(int rule, bool yes) const {
-  const auto r = static_cast<std::size_t>(rule);
   const double prior = config_.transformationPrior;
-  const double denom = static_cast<double>(leetTotal_[r]) + 2.0 * prior;
+  const std::uint64_t yesCount = counts_.leetYes(rule);
+  const std::uint64_t total = counts_.leetTotal(rule);
+  const double denom = static_cast<double>(total) + 2.0 * prior;
   if (denom <= 0.0) return 1.0;
   const double numer =
-      (yes ? static_cast<double>(leetYes_[r])
-           : static_cast<double>(leetTotal_[r] - leetYes_[r])) +
+      (yes ? static_cast<double>(yesCount)
+           : static_cast<double>(total - yesCount)) +
       prior;
   return numer / denom;
 }
 
 double FuzzyPsm::revProb(bool yes) const {
   const double prior = config_.transformationPrior;
-  const double denom = static_cast<double>(revTotal_) + 2.0 * prior;
+  const std::uint64_t yesCount = counts_.revYes();
+  const std::uint64_t total = counts_.revTotal();
+  const double denom = static_cast<double>(total) + 2.0 * prior;
   if (denom <= 0.0) return yes ? 0.0 : 1.0;
   const double numer =
-      (yes ? static_cast<double>(revYes_)
-           : static_cast<double>(revTotal_ - revYes_)) +
+      (yes ? static_cast<double>(yesCount)
+           : static_cast<double>(total - yesCount)) +
       prior;
   return numer / denom;
 }
@@ -146,7 +121,7 @@ double FuzzyPsm::reverseYesProb() const {
 }
 
 double FuzzyPsm::derivationLog2Prob(const FuzzyParse& p) const {
-  const double ps = structures_.probability(p.structure);
+  const double ps = counts_.structures().probability(p.structure);
   if (ps <= 0.0) return -kInfiniteBits;
   double lp = std::log2(ps);
   for (const auto& seg : p.segments) {
@@ -179,11 +154,7 @@ double FuzzyPsm::log2Prob(std::string_view pw) const {
 }
 
 void FuzzyPsm::warmCaches() const {
-  (void)structures_.sortedDesc();
-  for (const auto& [len, table] : segments_) {
-    (void)len;
-    (void)table.sortedDesc();
-  }
+  counts_.warmCaches();
 }
 
 std::string FuzzyPsm::sample(Rng& rng) const {
@@ -194,10 +165,10 @@ std::string FuzzyPsm::sample(Rng& rng) const {
   // to the distribution the meter scores with (see DESIGN.md).
   std::string rendered;
   for (int attempt = 0; attempt < 100; ++attempt) {
-    const std::string_view structKey = structures_.sample(rng);
+    const std::string_view structKey = counts_.structures().sample(rng);
     const auto lengths = decodeStructure(structKey);
     rendered.clear();
-    double lp = std::log2(structures_.probability(structKey));
+    double lp = std::log2(counts_.structures().probability(structKey));
     bool feasible = true;
     for (const std::size_t len : lengths) {
       const SegmentTable* table = segmentTable(len);
@@ -246,7 +217,8 @@ void FuzzyPsm::enumerateGuesses(std::uint64_t maxGuesses,
     double log2p;
   };
   std::unordered_map<std::size_t, std::vector<Cand>> expanded;
-  for (const auto& [len, table] : segments_) {
+  for (const std::size_t len : counts_.segmentLengths()) {
+    const SegmentTable& table = *counts_.segmentTable(len);
     StringMap<double> bestByText;
     for (const auto& item : table.sortedDesc()) {
       const double lpBase = std::log2(table.probability(item.form));
@@ -317,9 +289,10 @@ void FuzzyPsm::enumerateGuesses(std::uint64_t maxGuesses,
     std::vector<const std::vector<Cand>*> slots;
   };
   std::vector<DecodedStructure> decoded;
-  for (const auto& item : structures_.sortedDesc()) {
+  for (const auto& item : counts_.structures().sortedDesc()) {
     DecodedStructure d;
-    d.log2StructProb = std::log2(structures_.probability(item.form));
+    d.log2StructProb =
+        std::log2(counts_.structures().probability(item.form));
     bool ok = true;
     for (const std::size_t len : decodeStructure(item.form)) {
       const auto it = expanded.find(len);
@@ -402,36 +375,29 @@ void FuzzyPsm::save(std::ostream& out) const {
       << (config_.matchReverse ? 1 : 0) << '\n';
   out << "basewords\t" << baseWords_.size() << '\n';
   for (const auto& w : baseWords_) out << w << '\n';
-  out << "cap\t" << capYes_ << '\t' << capTotal_ << '\n';
-  out << "rev\t" << revYes_ << '\t' << revTotal_ << '\n';
+  out << "cap\t" << counts_.capYes() << '\t' << counts_.capTotal() << '\n';
+  out << "rev\t" << counts_.revYes() << '\t' << counts_.revTotal() << '\n';
   for (int r = 0; r < kNumLeetRules; ++r) {
-    const auto i = static_cast<std::size_t>(r);
-    out << "leet\t" << r << '\t' << leetYes_[i] << '\t' << leetTotal_[i]
-        << '\n';
+    out << "leet\t" << r << '\t' << counts_.leetYes(r) << '\t'
+        << counts_.leetTotal(r) << '\n';
   }
-  out << "structures\t" << structures_.distinct() << '\n';
-  for (const auto& item : structures_.sortedDesc()) {
+  out << "structures\t" << counts_.structures().distinct() << '\n';
+  for (const auto& item : counts_.structures().sortedDesc()) {
     out << item.form << '\t' << item.count << '\n';
   }
   // Emit tables in ascending length order: the hash map's iteration order
   // depends on insertion history, and save() must be a pure function of the
   // grammar so that save -> load -> save round-trips byte-identically.
-  std::vector<std::size_t> lengths;
-  lengths.reserve(segments_.size());
-  for (const auto& [len, table] : segments_) {
-    (void)table;
-    lengths.push_back(len);
-  }
-  std::sort(lengths.begin(), lengths.end());
-  out << "tables\t" << segments_.size() << '\n';
+  const std::vector<std::size_t> lengths = counts_.segmentLengths();
+  out << "tables\t" << lengths.size() << '\n';
   for (const std::size_t len : lengths) {
-    const SegmentTable& table = segments_.at(len);
+    const SegmentTable& table = *counts_.segmentTable(len);
     out << "table\t" << len << '\t' << table.distinct() << '\n';
     for (const auto& item : table.sortedDesc()) {
       out << item.form << '\t' << item.count << '\n';
     }
   }
-  out << "trained\t" << trainedPasswords_ << '\n';
+  out << "trained\t" << counts_.trainedPasswords() << '\n';
 }
 
 namespace {
@@ -492,15 +458,15 @@ FuzzyPsm FuzzyPsm::load(std::istream& in) {
   if (cap.size() != 3 || cap[0] != "cap") {
     throw IoError("FuzzyPsm::load: bad cap line");
   }
-  psm.capYes_ = std::stoull(cap[1]);
-  psm.capTotal_ = std::stoull(cap[2]);
+  psm.counts_.capYes_ = std::stoull(cap[1]);
+  psm.counts_.capTotal_ = std::stoull(cap[2]);
 
   const auto rev = splitTabs(expectLine(in, "rev"));
   if (rev.size() != 3 || rev[0] != "rev") {
     throw IoError("FuzzyPsm::load: bad rev line");
   }
-  psm.revYes_ = std::stoull(rev[1]);
-  psm.revTotal_ = std::stoull(rev[2]);
+  psm.counts_.revYes_ = std::stoull(rev[1]);
+  psm.counts_.revTotal_ = std::stoull(rev[2]);
 
   for (int r = 0; r < kNumLeetRules; ++r) {
     const auto leet = splitTabs(expectLine(in, "leet"));
@@ -508,8 +474,8 @@ FuzzyPsm FuzzyPsm::load(std::istream& in) {
       throw IoError("FuzzyPsm::load: bad leet line");
     }
     const auto i = static_cast<std::size_t>(r);
-    psm.leetYes_[i] = std::stoull(leet[2]);
-    psm.leetTotal_[i] = std::stoull(leet[3]);
+    psm.counts_.leetYes_[i] = std::stoull(leet[2]);
+    psm.counts_.leetTotal_[i] = std::stoull(leet[3]);
   }
 
   const auto st = splitTabs(expectLine(in, "structures"));
@@ -520,7 +486,7 @@ FuzzyPsm FuzzyPsm::load(std::istream& in) {
   for (std::size_t i = 0; i < nStructs; ++i) {
     const auto row = splitTabs(expectLine(in, "structure row"));
     if (row.size() != 2) throw IoError("FuzzyPsm::load: bad structure row");
-    psm.structures_.add(row[0], std::stoull(row[1]));
+    psm.counts_.structures_.add(row[0], std::stoull(row[1]));
   }
 
   const auto tb = splitTabs(expectLine(in, "tables"));
@@ -535,7 +501,7 @@ FuzzyPsm FuzzyPsm::load(std::istream& in) {
     }
     const std::size_t len = std::stoul(th[1]);
     const std::size_t rows = std::stoul(th[2]);
-    auto& table = psm.segments_[len];
+    auto& table = psm.counts_.segments_[len];
     for (std::size_t i = 0; i < rows; ++i) {
       const auto row = splitTabs(expectLine(in, "table row"));
       if (row.size() != 2) throw IoError("FuzzyPsm::load: bad table row");
@@ -547,7 +513,7 @@ FuzzyPsm FuzzyPsm::load(std::istream& in) {
   if (tr.size() != 2 || tr[0] != "trained") {
     throw IoError("FuzzyPsm::load: bad trained line");
   }
-  psm.trainedPasswords_ = std::stoull(tr[1]);
+  psm.counts_.trainedPasswords_ = std::stoull(tr[1]);
   return psm;
 }
 

@@ -22,18 +22,22 @@
 // canonical (longest-prefix) derivation — the paper's Fig. 11 walkthrough.
 // The update phase folds accepted passwords back into the counts, making
 // the meter adaptive.
+//
+// FuzzyPsm is a scoring facade: the base dictionary (tries + word list)
+// lives here, while all mutable counting state is a GrammarCounts value
+// (src/core/grammar_counts.h) so training can run sharded across threads
+// (src/train/sharded_trainer.h) and fold back in with absorbCounts().
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/fuzzy_parse.h"
+#include "core/grammar_counts.h"
 #include "corpus/dataset.h"
 #include "meters/segment_table.h"
 #include "model/probabilistic.h"
@@ -61,6 +65,12 @@ class FuzzyPsm : public ProbabilisticModel {
   /// the grammar (paper Sec. IV-C, "update").
   void update(std::string_view pw, std::uint64_t n = 1);
 
+  /// Folds an externally counted bundle (a sharded-trainer merge, a drained
+  /// update batch) into the grammar in one step. The delta must have been
+  /// parsed against this grammar's base dictionary and config for scores
+  /// to stay meaningful; counts themselves merge unconditionally.
+  void absorbCounts(const GrammarCounts& delta) { counts_.merge(delta); }
+
   // Meter / ProbabilisticModel interface.
   std::string name() const override { return "fuzzyPSM"; }
   double log2Prob(std::string_view pw) const override;
@@ -76,31 +86,40 @@ class FuzzyPsm : public ProbabilisticModel {
   // --- grammar introspection (Tables IV-VI, serialization, tests) -------
   const FuzzyConfig& config() const { return config_; }
   const Trie& baseDictionary() const { return trie_; }
-  const SegmentTable& structures() const { return structures_; }
+  /// The full counting state (src/core/grammar_counts.h): what training
+  /// produced and what serialization persists. The sharded trainer and the
+  /// artifact writer consume this directly.
+  const GrammarCounts& counts() const { return counts_; }
+  /// Base words in insertion order (serialization replays this sequence to
+  /// rebuild the tries identically).
+  const std::vector<std::string>& baseWords() const { return baseWords_; }
+  const SegmentTable& structures() const { return counts_.structures(); }
   /// Table for B_n, or nullptr if no segment of that length was seen.
-  const SegmentTable* segmentTable(std::size_t len) const;
+  const SegmentTable* segmentTable(std::size_t len) const {
+    return counts_.segmentTable(len);
+  }
   /// P(Capitalize -> Yes) (Table V), including the configured prior.
   double capitalizeYesProb() const;
   /// P(L_rule -> Yes) (Table VI), including the configured prior.
   double leetYesProb(int rule) const;
   /// P(Reverse -> Yes) (matchReverse extension; 0 unless enabled).
   double reverseYesProb() const;
-  std::uint64_t trainedPasswords() const { return trainedPasswords_; }
-  bool trained() const { return structures_.total() > 0; }
+  std::uint64_t trainedPasswords() const { return counts_.trainedPasswords(); }
+  bool trained() const { return counts_.structures().total() > 0; }
 
   // --- raw counters (analysis/grammar_lint.h audits these directly) ------
-  std::uint64_t capYesCount() const { return capYes_; }
-  std::uint64_t capTotalCount() const { return capTotal_; }
-  std::uint64_t revYesCount() const { return revYes_; }
-  std::uint64_t revTotalCount() const { return revTotal_; }
-  std::uint64_t leetYesCount(int rule) const {
-    return leetYes_[static_cast<std::size_t>(rule)];
-  }
+  std::uint64_t capYesCount() const { return counts_.capYes(); }
+  std::uint64_t capTotalCount() const { return counts_.capTotal(); }
+  std::uint64_t revYesCount() const { return counts_.revYes(); }
+  std::uint64_t revTotalCount() const { return counts_.revTotal(); }
+  std::uint64_t leetYesCount(int rule) const { return counts_.leetYes(rule); }
   std::uint64_t leetTotalCount(int rule) const {
-    return leetTotal_[static_cast<std::size_t>(rule)];
+    return counts_.leetTotal(rule);
   }
   /// Ascending lengths n for which a B_n table exists (possibly empty).
-  std::vector<std::size_t> segmentLengths() const;
+  std::vector<std::size_t> segmentLengths() const {
+    return counts_.segmentLengths();
+  }
   /// The reversed-word trie (empty unless config().matchReverse).
   const Trie& reversedDictionary() const { return reversedTrie_; }
 
@@ -147,15 +166,7 @@ class FuzzyPsm : public ProbabilisticModel {
   Trie reversedTrie_;  // populated only when config_.matchReverse
   std::vector<std::string> baseWords_;  // for serialization
 
-  SegmentTable structures_;
-  std::unordered_map<std::size_t, SegmentTable> segments_;
-  std::uint64_t capYes_ = 0;
-  std::uint64_t capTotal_ = 0;
-  std::uint64_t revYes_ = 0;
-  std::uint64_t revTotal_ = 0;
-  std::array<std::uint64_t, kNumLeetRules> leetYes_{};
-  std::array<std::uint64_t, kNumLeetRules> leetTotal_{};
-  std::uint64_t trainedPasswords_ = 0;
+  GrammarCounts counts_;
 };
 
 }  // namespace fpsm

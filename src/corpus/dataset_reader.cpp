@@ -1,0 +1,27 @@
+#include "corpus/dataset_reader.h"
+
+#include "util/error.h"
+
+namespace fpsm {
+
+DatasetReader::DatasetReader(std::istream& in) : in_(&in) {}
+
+DatasetReader::DatasetReader(const std::string& path) : file_(path) {
+  if (!file_) throw IoError("cannot open dataset file: " + path);
+  in_ = &file_;
+}
+
+bool DatasetReader::nextChunk(std::vector<Dataset::Entry>& out,
+                              std::size_t maxEntries) {
+  out.clear();
+  while (out.size() < maxEntries && std::getline(*in_, line_)) {
+    std::string_view pw;
+    std::uint64_t count = 0;
+    if (parser_.parse(line_, pw, count, stats_)) {
+      out.push_back(Dataset::Entry{std::string(pw), count});
+    }
+  }
+  return !out.empty();
+}
+
+}  // namespace fpsm

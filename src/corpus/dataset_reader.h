@@ -1,0 +1,52 @@
+// DatasetReader — streaming, chunked ingestion of password-leak files.
+//
+// loadDataset materializes a whole corpus as a Dataset, which is fine for
+// test fixtures but not for multi-GB leak files. DatasetReader walks the
+// same line format (and the same cleaning rules: CRLF normalization, UTF-8
+// BOM stripping, validity filtering — see DatasetLineParser in
+// src/corpus/io.h) but hands entries out in bounded chunks, so the sharded
+// trainer (src/train/sharded_trainer.h) keeps at most one chunk of
+// passwords in memory while parsing proceeds in parallel behind it.
+//
+// The entry stream is identical to what loadDataset would accept, in file
+// order — duplicates are NOT aggregated across chunks. Counting is
+// additive (GrammarCounts), so trainers consume duplicates as written with
+// no behavioral difference from a pre-aggregated Dataset.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "corpus/dataset.h"
+#include "corpus/io.h"
+
+namespace fpsm {
+
+class DatasetReader {
+ public:
+  /// Reads from a borrowed stream; the stream must outlive the reader.
+  explicit DatasetReader(std::istream& in);
+
+  /// Opens and owns a file stream. Throws IoError if unreadable.
+  explicit DatasetReader(const std::string& path);
+
+  /// Appends up to `maxEntries` accepted entries to `out` (which is
+  /// cleared first). Returns false once the stream is exhausted and no
+  /// entry was produced; a short final chunk still returns true.
+  bool nextChunk(std::vector<Dataset::Entry>& out, std::size_t maxEntries);
+
+  /// Cleaning/acceptance tallies for everything consumed so far.
+  const LoadStats& stats() const { return stats_; }
+
+ private:
+  std::ifstream file_;    // engaged only by the path constructor
+  std::istream* in_;      // borrowed stream or &file_
+  DatasetLineParser parser_;
+  LoadStats stats_;
+  std::string line_;
+};
+
+}  // namespace fpsm

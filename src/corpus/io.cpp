@@ -10,30 +10,53 @@
 
 namespace fpsm {
 
+bool DatasetLineParser::parse(std::string& line, std::string_view& pw,
+                              std::uint64_t& count, LoadStats& stats) {
+  if (!line.empty() && line.back() == '\r') {
+    line.pop_back();
+    ++stats.crlfNormalized;
+  }
+  if (firstLine_) {
+    firstLine_ = false;
+    // Leak dumps exported by Windows tools often start with a UTF-8 BOM;
+    // without stripping it the first password would be mis-keyed (or
+    // rejected as non-printable).
+    static constexpr std::string_view kBom = "\xEF\xBB\xBF";
+    if (line.size() >= kBom.size() &&
+        std::string_view(line).substr(0, kBom.size()) == kBom) {
+      line.erase(0, kBom.size());
+      ++stats.bomsStripped;
+    }
+  }
+  pw = line;
+  count = 1;
+  if (const auto tab = line.find('\t'); tab != std::string::npos) {
+    pw = std::string_view(line).substr(0, tab);
+    const std::string_view rest = std::string_view(line).substr(tab + 1);
+    const auto res =
+        std::from_chars(rest.data(), rest.data() + rest.size(), count);
+    if (res.ec != std::errc{} || res.ptr != rest.data() + rest.size() ||
+        count == 0) {
+      ++stats.rejected;
+      return false;
+    }
+  }
+  if (!isValidPassword(pw)) {
+    ++stats.rejected;
+    return false;
+  }
+  stats.accepted += count;
+  return true;
+}
+
 LoadStats loadDataset(std::istream& in, Dataset& out) {
   LoadStats stats;
+  DatasetLineParser parser;
   std::string line;
   while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    std::string_view pw = line;
-    std::uint64_t count = 1;
-    if (const auto tab = line.find('\t'); tab != std::string::npos) {
-      pw = std::string_view(line).substr(0, tab);
-      const std::string_view rest = std::string_view(line).substr(tab + 1);
-      const auto res =
-          std::from_chars(rest.data(), rest.data() + rest.size(), count);
-      if (res.ec != std::errc{} || res.ptr != rest.data() + rest.size() ||
-          count == 0) {
-        ++stats.rejected;
-        continue;
-      }
-    }
-    if (!isValidPassword(pw)) {
-      ++stats.rejected;
-      continue;
-    }
-    out.add(pw, count);
-    stats.accepted += count;
+    std::string_view pw;
+    std::uint64_t count = 0;
+    if (parser.parse(line, pw, count, stats)) out.add(pw, count);
   }
   return stats;
 }

@@ -3,12 +3,16 @@
 // Format: one entry per line, either "password" (count 1) or
 // "password<TAB>count". Lines that are empty or contain non-printable
 // characters are skipped and counted as rejects, mirroring the cleaning
-// step every password-leak study performs.
+// step every password-leak study performs. Windows CRLF line endings and a
+// leading UTF-8 byte-order mark — both common in real leak dumps — are
+// stripped (not rejected) and tallied in LoadStats so ingestion reports
+// can surface them.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "corpus/dataset.h"
 
@@ -17,6 +21,35 @@ namespace fpsm {
 struct LoadStats {
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
+  /// Lines that arrived with a CRLF ending and were normalized to LF.
+  std::uint64_t crlfNormalized = 0;
+  /// UTF-8 byte-order marks stripped from the first line (0 or 1).
+  std::uint64_t bomsStripped = 0;
+
+  void merge(const LoadStats& other) {
+    accepted += other.accepted;
+    rejected += other.rejected;
+    crlfNormalized += other.crlfNormalized;
+    bomsStripped += other.bomsStripped;
+  }
+};
+
+/// The line-level cleaning and parsing rule shared by loadDataset and the
+/// streaming DatasetReader (src/corpus/dataset_reader.h), so batch and
+/// chunked ingestion accept byte-identical entry streams. Stateful only in
+/// that it strips a UTF-8 BOM from the first line it sees.
+class DatasetLineParser {
+ public:
+  /// Cleans `line` in place (CRLF, BOM) and parses it. On success returns
+  /// true with `pw` viewing into `line` and `count` set, and credits
+  /// stats.accepted by count; on failure returns false and credits
+  /// stats.rejected. Cleaning tallies stats.crlfNormalized/bomsStripped
+  /// either way.
+  bool parse(std::string& line, std::string_view& pw, std::uint64_t& count,
+             LoadStats& stats);
+
+ private:
+  bool firstLine_ = true;
 };
 
 /// Reads a dataset from a stream. Appends to `out`.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "train/sharded_trainer.h"
 #include "util/chars.h"
 #include "util/check.h"
 #include "util/error.h"
@@ -106,9 +107,17 @@ std::uint64_t MeterService::applyAndPublishLocked(
     master_ = FuzzyPsm::fromArtifact(*coldArtifact_);
     coldArtifact_.reset();
   }
+  // Count the drained batch as a GrammarCounts delta (sharded when the
+  // batch is large, per ShardedTrainer's worker heuristics) and fold it in
+  // with one merge. Identical counts to looping master_.update() — the
+  // trainer parses against the same dictionary and config — but the parse
+  // work runs off a single lock-holder's critical path and onto all cores.
+  std::vector<Dataset::Entry> entries;
+  entries.reserve(batch.size());
   for (const auto& [pw, n] : batch) {
-    master_.update(pw, n);
+    entries.push_back(Dataset::Entry{pw, n});
   }
+  master_.absorbCounts(ShardedTrainer(master_).countEntries(entries));
   // Folding a non-empty batch into a served grammar can never leave it
   // untrained; publishing an untrained snapshot would make every reader
   // throw NotTrained, so treat it as corruption rather than continue.

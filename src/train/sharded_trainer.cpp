@@ -1,0 +1,90 @@
+#include "train/sharded_trainer.h"
+
+#include <algorithm>
+
+#include "analysis/grammar_lint.h"
+#include "util/parallel.h"
+
+namespace fpsm {
+
+ShardedTrainer::ShardedTrainer(const FuzzyPsm& base, TrainOptions options)
+    : base_(base), options_(options) {}
+
+void ShardedTrainer::countInto(const std::vector<Dataset::Entry>& entries,
+                               GrammarCounts& into) const {
+  const std::size_t n = entries.size();
+  if (n == 0) return;
+  const unsigned workers = parallelWorkerCount(n, options_.threads);
+  const bool countReverse = base_.config().matchReverse;
+
+  std::vector<GrammarCounts> shards(workers);
+  // One task per worker, each over a contiguous slice: a worker builds its
+  // shard with a single parser instance and no synchronization. The shared
+  // tries are only read (Trie lookups are const with no mutable caches),
+  // so this is data-race-free — tests/train_test.cpp runs it under tsan.
+  const std::size_t chunk = (n + workers - 1) / workers;
+  parallelFor(
+      workers,
+      [&](std::size_t w) {
+        const std::size_t lo = w * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        if (lo >= hi) return;
+        FuzzyParser parser(base_.baseDictionary(), base_.config(),
+                           &base_.reversedDictionary());
+        GrammarCounts& shard = shards[w];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Dataset::Entry& e = entries[i];
+          if (e.count == 0) continue;
+          shard.addParse(parser.parse(e.password), e.count, countReverse);
+        }
+      },
+      workers);
+
+  if (options_.lintShards) {
+    const GrammarValidator validator;
+    for (const GrammarCounts& shard : shards) {
+      if (shard.empty()) continue;
+      LintReport report = validator.lint(shard, base_.config());
+      if (!report.ok()) throw GrammarLintError(std::move(report));
+    }
+  }
+
+  // Merge in worker-index order. The order is irrelevant for the result
+  // (merge is commutative/associative) but fixing it keeps the code path
+  // itself deterministic.
+  for (const GrammarCounts& shard : shards) into.merge(shard);
+}
+
+GrammarCounts ShardedTrainer::countEntries(
+    const std::vector<Dataset::Entry>& entries) const {
+  GrammarCounts counts;
+  countInto(entries, counts);
+  return counts;
+}
+
+GrammarCounts ShardedTrainer::countDataset(const Dataset& training) const {
+  std::vector<Dataset::Entry> entries;
+  entries.reserve(training.unique());
+  training.forEach([&](std::string_view pw, std::uint64_t c) {
+    entries.push_back(Dataset::Entry{std::string(pw), c});
+  });
+  return countEntries(entries);
+}
+
+GrammarCounts ShardedTrainer::countStream(DatasetReader& reader) const {
+  GrammarCounts counts;
+  std::vector<Dataset::Entry> chunk;
+  chunk.reserve(options_.chunkEntries);
+  while (reader.nextChunk(chunk, options_.chunkEntries)) {
+    countInto(chunk, counts);
+  }
+  return counts;
+}
+
+FuzzyPsm ShardedTrainer::train(const Dataset& training) const {
+  FuzzyPsm trained = base_;
+  trained.absorbCounts(countDataset(training));
+  return trained;
+}
+
+}  // namespace fpsm

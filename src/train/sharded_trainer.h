@@ -1,0 +1,93 @@
+// ShardedTrainer — parallel, deterministic fuzzy-grammar training
+// (DESIGN.md §10).
+//
+// The paper's training phase (Sec. IV-C) parses every password of the
+// training dictionary T against the base trie and counts what it sees.
+// Parsing is a pure function of (password, base dictionary, config), and
+// counting is addition — so training parallelizes embarrassingly:
+//
+//   1. partition the entry list into contiguous slices, one per worker;
+//   2. each worker parses its slice against the *shared* base trie
+//      (Trie reads are const and touch no mutable caches) into a
+//      thread-local GrammarCounts shard;
+//   3. merge the shards. GrammarCounts::merge is commutative and
+//      associative, so any partitioning yields the same counts — and since
+//      both serializations order entries canonically, the same bytes.
+//
+// Determinism contract (tests/train_test.cpp): for a fixed base dictionary,
+// config, and entry multiset, the merged counts — and therefore the .fpsmb
+// artifact and the text save — are byte-identical across thread counts,
+// chunk sizes, and entry order, and identical to sequential
+// FuzzyPsm::train.
+//
+// In debug builds (and sanitizer builds, which keep assertions on) each
+// shard is linted pre-merge with the GrammarCounts overload of
+// GrammarValidator, pinning any counting defect to the worker that
+// produced it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/fuzzy_psm.h"
+#include "corpus/dataset.h"
+#include "corpus/dataset_reader.h"
+
+namespace fpsm {
+
+struct TrainOptions {
+  /// Worker threads. 0 = decide automatically (FPSM_THREADS env var if
+  /// set, else hardware concurrency via parallelWorkerCount).
+  unsigned threads = 0;
+  /// Entries per streamed chunk when training from a DatasetReader. Each
+  /// chunk is fully parsed (in parallel) before the next is read, bounding
+  /// resident passwords to one chunk.
+  std::size_t chunkEntries = std::size_t{1} << 16;
+  /// Lint every shard before merging; errors throw GrammarLintError.
+  /// Defaults on in debug/sanitizer builds, off with NDEBUG.
+#ifdef NDEBUG
+  bool lintShards = false;
+#else
+  bool lintShards = true;
+#endif
+};
+
+class ShardedTrainer {
+ public:
+  /// Counts against `base`'s dictionary and config. The base grammar is
+  /// borrowed and must outlive the trainer; it is never mutated — callers
+  /// decide what to do with the produced counts (absorbCounts, artifact
+  /// compilation, a serving-layer delta).
+  explicit ShardedTrainer(const FuzzyPsm& base, TrainOptions options = {});
+
+  /// Parses `entries` into a merged counts bundle.
+  GrammarCounts countEntries(const std::vector<Dataset::Entry>& entries) const;
+
+  /// Parses every entry of a materialized dataset.
+  GrammarCounts countDataset(const Dataset& training) const;
+
+  /// Streams chunks from `reader` until exhaustion, parsing each chunk in
+  /// parallel. Peak memory is one chunk of entries plus one shard per
+  /// worker, independent of corpus size.
+  GrammarCounts countStream(DatasetReader& reader) const;
+
+  /// Convenience: countDataset folded into the base grammar's clone —
+  /// i.e. what `FuzzyPsm::train(training)` would have produced, computed
+  /// sharded. Returns the trained copy.
+  FuzzyPsm train(const Dataset& training) const;
+
+  const TrainOptions& options() const { return options_; }
+
+ private:
+  /// Parses one contiguous entry slice set into per-worker shards and
+  /// merges them (in worker-index order, though any order would yield the
+  /// same counts) into `into`.
+  void countInto(const std::vector<Dataset::Entry>& entries,
+                 GrammarCounts& into) const;
+
+  const FuzzyPsm& base_;
+  TrainOptions options_;
+};
+
+}  // namespace fpsm

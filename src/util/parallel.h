@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -19,15 +20,33 @@
 
 namespace fpsm {
 
+/// Thread count requested through the FPSM_THREADS environment variable, or
+/// 0 (meaning "decide automatically") when unset, empty, or unparsable.
+/// Read fresh on every call so tests — and long-lived embedders — can change
+/// the variable between invocations.
+inline unsigned envThreadRequest() {
+  const char* env = std::getenv("FPSM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' ||
+      v > std::numeric_limits<unsigned>::max()) {
+    return 0;
+  }
+  return static_cast<unsigned>(v);
+}
+
 /// Number of worker threads parallelFor would use for n items. An explicit
 /// `requested` count is honored as given (callers like the serving layer
 /// know their per-item work is heavy), capped only at n so no thread sits
-/// idle; the ~1k-items-per-thread heuristic applies to the automatic case
-/// alone.
+/// idle; with requested == 0 the FPSM_THREADS environment variable is
+/// consulted next, and only then does the ~1k-items-per-thread heuristic
+/// pick a count automatically.
 inline unsigned parallelWorkerCount(std::size_t n, unsigned requested = 0) {
   if (n == 0) return 1;
   const auto cap = static_cast<unsigned>(
       std::min<std::size_t>(n, std::numeric_limits<unsigned>::max()));
+  if (requested == 0) requested = envThreadRequest();
   if (requested != 0) return std::min(requested, cap);
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;

@@ -167,8 +167,38 @@ TEST(Io, RejectsBadLines) {
 TEST(Io, HandlesCrlf) {
   std::stringstream ss("word\r\n");
   Dataset ds;
-  loadDataset(ss, ds);
+  const auto stats = loadDataset(ss, ds);
   EXPECT_TRUE(ds.contains("word"));
+  EXPECT_EQ(stats.crlfNormalized, 1u);
+}
+
+// Regression: Windows-exported leak dumps arrive with CRLF endings and a
+// UTF-8 BOM. Both must be stripped (not rejected, not mis-keyed into the
+// password bytes) and tallied in LoadStats.
+TEST(Io, StripsCrlfAndBomAndCountsThem) {
+  std::stringstream ss("\xEF\xBB\xBF""first\t2\r\nsecond\r\nthird\n");
+  Dataset ds;
+  const auto stats = loadDataset(ss, ds);
+  EXPECT_EQ(ds.frequency("first"), 2u);   // not "\xEF\xBB\xBFfirst"
+  EXPECT_EQ(ds.frequency("second"), 1u);  // not "second\r"
+  EXPECT_EQ(ds.frequency("third"), 1u);
+  EXPECT_EQ(stats.accepted, 4u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.crlfNormalized, 2u);
+  EXPECT_EQ(stats.bomsStripped, 1u);
+}
+
+// The BOM is a byte-order marker, not content: it is only stripped from
+// the first line. A later line starting with those bytes is an ordinary
+// invalid (non-printable) password and is rejected as before.
+TEST(Io, BomOnlyStrippedFromFirstLine) {
+  std::stringstream ss("plain\n\xEF\xBB\xBFmarked\n");
+  Dataset ds;
+  const auto stats = loadDataset(ss, ds);
+  EXPECT_EQ(stats.bomsStripped, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_TRUE(ds.contains("plain"));
+  EXPECT_FALSE(ds.contains("marked"));
 }
 
 TEST(Io, MissingFileThrows) {

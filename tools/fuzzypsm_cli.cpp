@@ -1,9 +1,14 @@
 // fuzzypsm — command-line front end to the library.
 //
-//   fuzzypsm train --base BASE.txt --training TRAIN.txt --out GRAMMAR
-//            [--reverse] [--prior P] [--min-base-len N]
+//   fuzzypsm train --base BASE.txt --training TRAIN.txt -o GRAMMAR
+//            [--threads N] [--reverse] [--prior P] [--min-base-len N]
 //       Train a fuzzy PCFG from two password files (lines: "pw" or
-//       "pw<TAB>count") and serialize it.
+//       "pw<TAB>count") and serialize it. Training streams the corpus in
+//       chunks and parses them sharded across N threads
+//       (src/train/sharded_trainer.h); the output is byte-identical for
+//       any thread count. An output path ending in .fpsmb compiles the
+//       flat binary artifact directly from the merged counts; anything
+//       else gets the text format.
 //
 //   fuzzypsm measure --grammar GRAMMAR [PW...]
 //       Score passwords (args, or stdin lines when none given): bits,
@@ -50,7 +55,9 @@
 //
 // Every command taking --grammar accepts both the text format and a
 // compiled .fpsmb artifact; the file type is sniffed from the leading
-// magic bytes.
+// magic bytes. Every parallel command honors --threads, falling back to
+// the FPSM_THREADS environment variable and then to an automatic choice
+// (util/parallel.h). -o is shorthand for --out.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -68,12 +75,15 @@
 #include "serve/meter_service.h"
 #include "core/fuzzy_psm.h"
 #include "core/suggest.h"
+#include "corpus/dataset_reader.h"
 #include "corpus/io.h"
 #include "model/buckets.h"
 #include "model/montecarlo.h"
 #include "synth/generator.h"
+#include "train/sharded_trainer.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/parallel.h"
 
 using namespace fpsm;
 
@@ -105,7 +115,8 @@ Args parseArgs(int argc, char** argv) {
   if (argc < 2) throw InvalidArgument("no command given");
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string_view a = argv[i];
+    std::string_view a = argv[i];
+    if (a == "-o") a = "--out";  // shorthand
     if (a.rfind("--", 0) == 0) {
       const std::string name(a.substr(2));
       if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
@@ -150,7 +161,25 @@ FuzzyPsm loadGrammar(const Args& args) {
   return loadGrammarFile(args.requiredOption("grammar"));
 }
 
-int cmdTrain(const Args& args) {
+/// The global threading knob: --threads when given (>= 1), else the
+/// FPSM_THREADS environment variable, else `fallback` (0 = let
+/// parallelWorkerCount decide from the workload).
+unsigned threadsOption(const Args& args, unsigned fallback = 0) {
+  if (const auto t = args.option("threads"); !t.empty()) {
+    const unsigned v = static_cast<unsigned>(std::stoul(t));
+    if (v == 0) throw InvalidArgument("--threads must be >= 1");
+    return v;
+  }
+  if (const unsigned env = envThreadRequest(); env != 0) return env;
+  return fallback;
+}
+
+bool hasSuffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+FuzzyConfig configFromArgs(const Args& args) {
   FuzzyConfig config;
   config.matchReverse = args.flag("reverse");
   if (const auto p = args.option("prior"); !p.empty()) {
@@ -159,11 +188,58 @@ int cmdTrain(const Args& args) {
   if (const auto m = args.option("min-base-len"); !m.empty()) {
     config.minBaseWordLen = std::stoul(m);
   }
-  FuzzyPsm psm(config);
+  return config;
+}
+
+/// Streams the training file through the sharded trainer and returns the
+/// merged counts (reporting cleaning stats like loadFile does).
+GrammarCounts trainCounts(const FuzzyPsm& base, const std::string& path,
+                          unsigned threads) {
+  TrainOptions options;
+  options.threads = threads;
+  const ShardedTrainer trainer(base, options);
+  DatasetReader reader(path);
+  const GrammarCounts counts = trainer.countStream(reader);
+  const LoadStats& stats = reader.stats();
+  std::fprintf(stderr,
+               "training: %s passwords (%s rejected, %s CRLF line endings, "
+               "%s BOM)\n",
+               fmtCount(stats.accepted).c_str(),
+               fmtCount(stats.rejected).c_str(),
+               fmtCount(stats.crlfNormalized).c_str(),
+               fmtCount(stats.bomsStripped).c_str());
+  return counts;
+}
+
+int cmdTrain(const Args& args) {
+  FuzzyPsm psm(configFromArgs(args));
   psm.loadBaseDictionary(loadFile(args.requiredOption("base"), "base"));
-  psm.train(loadFile(args.requiredOption("training"), "training"));
+  const GrammarCounts counts = trainCounts(
+      psm, args.requiredOption("training"), threadsOption(args));
 
   const std::string out = args.requiredOption("out");
+  if (hasSuffix(out, ".fpsmb")) {
+    // Compile the artifact straight from the merged counts — no text
+    // round trip, no second FuzzyPsm.
+    {
+      std::ofstream os(out, std::ios::binary | std::ios::trunc);
+      if (!os) throw IoError("cannot write artifact: " + out);
+      writeArtifact(os, psm.config(), psm.baseWords(), psm.baseDictionary(),
+                    psm.reversedDictionary(), counts);
+      os.flush();
+      if (!os) throw IoError("write to " + out + " failed");
+    }
+    // Re-open through the validating loader, like `compile` does.
+    const auto artifact = GrammarArtifact::open(out);
+    std::fprintf(stderr,
+                 "artifact written to %s (%s bytes, %s base words, "
+                 "%s structures)\n",
+                 out.c_str(), fmtCount(artifact->sizeBytes()).c_str(),
+                 fmtCount(artifact->grammar().baseWordCount()).c_str(),
+                 fmtCount(artifact->grammar().structures().distinct()).c_str());
+    return 0;
+  }
+  psm.absorbCounts(counts);
   std::ofstream os(out);
   if (!os) throw IoError("cannot write grammar: " + out);
   psm.save(os);
@@ -265,13 +341,11 @@ int cmdGenerate(const Args& args) {
 }
 
 int cmdServeBench(const Args& args) {
-  const unsigned threads =
-      static_cast<unsigned>(std::stoul(args.option("threads", "4")));
+  const unsigned threads = threadsOption(args, 4);
   const auto duration =
       std::chrono::milliseconds(std::stoul(args.option("duration-ms", "2000")));
   const std::size_t poolSize = std::stoul(args.option("pool", "2048"));
   Rng rng(std::stoull(args.option("seed", "7")));
-  if (threads == 0) throw InvalidArgument("--threads must be >= 1");
   if (poolSize == 0) throw InvalidArgument("--pool must be >= 1");
 
   FuzzyPsm psm = loadGrammar(args);
@@ -346,18 +420,11 @@ int cmdCompile(const Args& args) {
     if (const auto g = args.option("grammar"); !g.empty()) {
       return loadGrammarFile(g);
     }
-    // Fresh training, same knobs as `train`.
-    FuzzyConfig config;
-    config.matchReverse = args.flag("reverse");
-    if (const auto p = args.option("prior"); !p.empty()) {
-      config.transformationPrior = std::stod(p);
-    }
-    if (const auto m = args.option("min-base-len"); !m.empty()) {
-      config.minBaseWordLen = std::stoul(m);
-    }
-    FuzzyPsm fresh(config);
+    // Fresh training, same knobs (and sharded path) as `train`.
+    FuzzyPsm fresh(configFromArgs(args));
     fresh.loadBaseDictionary(loadFile(args.requiredOption("base"), "base"));
-    fresh.train(loadFile(args.requiredOption("training"), "training"));
+    fresh.absorbCounts(trainCounts(fresh, args.requiredOption("training"),
+                                   threadsOption(args)));
     return fresh;
   }();
   writeArtifactFile(psm, out);
