@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format-check"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/format-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

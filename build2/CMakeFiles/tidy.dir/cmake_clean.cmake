@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidy"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/tidy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

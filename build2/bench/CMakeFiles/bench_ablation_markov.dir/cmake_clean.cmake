@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_markov.dir/bench_ablation_markov.cpp.o"
+  "CMakeFiles/bench_ablation_markov.dir/bench_ablation_markov.cpp.o.d"
+  "bench_ablation_markov"
+  "bench_ablation_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_artifact_load.dir/bench_artifact_load.cpp.o"
+  "CMakeFiles/bench_artifact_load.dir/bench_artifact_load.cpp.o.d"
+  "bench_artifact_load"
+  "bench_artifact_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_artifact_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cracking_validation.dir/bench_cracking_validation.cpp.o"
+  "CMakeFiles/bench_cracking_validation.dir/bench_cracking_validation.cpp.o.d"
+  "bench_cracking_validation"
+  "bench_cracking_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cracking_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_guessnumbers.cpp" "bench/CMakeFiles/bench_fig10_guessnumbers.dir/bench_fig10_guessnumbers.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10_guessnumbers.dir/bench_fig10_guessnumbers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/serve/CMakeFiles/fpsm_serve.dir/DependInfo.cmake"
+  "/root/repo/build2/src/train/CMakeFiles/fpsm_train.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/fpsm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/eval/CMakeFiles/fpsm_eval.dir/DependInfo.cmake"
+  "/root/repo/build2/src/artifact/CMakeFiles/fpsm_artifact.dir/DependInfo.cmake"
+  "/root/repo/build2/src/core/CMakeFiles/fpsm_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/meters/CMakeFiles/fpsm_meters.dir/DependInfo.cmake"
+  "/root/repo/build2/src/synth/CMakeFiles/fpsm_synth.dir/DependInfo.cmake"
+  "/root/repo/build2/src/model/CMakeFiles/fpsm_model.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trie/CMakeFiles/fpsm_trie.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_guessnumbers.dir/bench_fig10_guessnumbers.cpp.o"
+  "CMakeFiles/bench_fig10_guessnumbers.dir/bench_fig10_guessnumbers.cpp.o.d"
+  "bench_fig10_guessnumbers"
+  "bench_fig10_guessnumbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_guessnumbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_crosslang.dir/bench_fig13_crosslang.cpp.o"
+  "CMakeFiles/bench_fig13_crosslang.dir/bench_fig13_crosslang.cpp.o.d"
+  "bench_fig13_crosslang"
+  "bench_fig13_crosslang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_crosslang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

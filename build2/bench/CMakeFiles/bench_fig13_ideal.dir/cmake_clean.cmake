@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ideal.dir/bench_fig13_ideal.cpp.o"
+  "CMakeFiles/bench_fig13_ideal.dir/bench_fig13_ideal.cpp.o.d"
+  "bench_fig13_ideal"
+  "bench_fig13_ideal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_real.dir/bench_fig13_real.cpp.o"
+  "CMakeFiles/bench_fig13_real.dir/bench_fig13_real.cpp.o.d"
+  "bench_fig13_real"
+  "bench_fig13_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_csdn.dir/bench_fig9_csdn.cpp.o"
+  "CMakeFiles/bench_fig9_csdn.dir/bench_fig9_csdn.cpp.o.d"
+  "bench_fig9_csdn"
+  "bench_fig9_csdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_csdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grammar_snapshot.dir/bench_grammar_snapshot.cpp.o"
+  "CMakeFiles/bench_grammar_snapshot.dir/bench_grammar_snapshot.cpp.o.d"
+  "bench_grammar_snapshot"
+  "bench_grammar_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grammar_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

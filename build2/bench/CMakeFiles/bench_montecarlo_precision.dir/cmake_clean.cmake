@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_montecarlo_precision.dir/bench_montecarlo_precision.cpp.o"
+  "CMakeFiles/bench_montecarlo_precision.dir/bench_montecarlo_precision.cpp.o.d"
+  "bench_montecarlo_precision"
+  "bench_montecarlo_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_montecarlo_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_defense.dir/bench_policy_defense.cpp.o"
+  "CMakeFiles/bench_policy_defense.dir/bench_policy_defense.cpp.o.d"
+  "bench_policy_defense"
+  "bench_policy_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

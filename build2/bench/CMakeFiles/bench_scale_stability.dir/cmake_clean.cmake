@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_stability.dir/bench_scale_stability.cpp.o"
+  "CMakeFiles/bench_scale_stability.dir/bench_scale_stability.cpp.o.d"
+  "bench_scale_stability"
+  "bench_scale_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

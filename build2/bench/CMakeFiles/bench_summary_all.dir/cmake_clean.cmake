@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summary_all.dir/bench_summary_all.cpp.o"
+  "CMakeFiles/bench_summary_all.dir/bench_summary_all.cpp.o.d"
+  "bench_summary_all"
+  "bench_summary_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summary_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

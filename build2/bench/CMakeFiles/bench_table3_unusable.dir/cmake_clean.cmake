@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_unusable.dir/bench_table3_unusable.cpp.o"
+  "CMakeFiles/bench_table3_unusable.dir/bench_table3_unusable.cpp.o.d"
+  "bench_table3_unusable"
+  "bench_table3_unusable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_unusable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_train_parallel.dir/bench_train_parallel.cpp.o"
+  "CMakeFiles/bench_train_parallel.dir/bench_train_parallel.cpp.o.d"
+  "bench_train_parallel"
+  "bench_train_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_train_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

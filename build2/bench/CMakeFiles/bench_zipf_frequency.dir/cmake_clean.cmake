@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zipf_frequency.dir/bench_zipf_frequency.cpp.o"
+  "CMakeFiles/bench_zipf_frequency.dir/bench_zipf_frequency.cpp.o.d"
+  "bench_zipf_frequency"
+  "bench_zipf_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zipf_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

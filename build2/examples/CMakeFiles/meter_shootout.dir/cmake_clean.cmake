@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meter_shootout.dir/meter_shootout.cpp.o"
+  "CMakeFiles/meter_shootout.dir/meter_shootout.cpp.o.d"
+  "meter_shootout"
+  "meter_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meter_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for meter_shootout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/password_audit.dir/password_audit.cpp.o"
+  "CMakeFiles/password_audit.dir/password_audit.cpp.o.d"
+  "password_audit"
+  "password_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/password_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

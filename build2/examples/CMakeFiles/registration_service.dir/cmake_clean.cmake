@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registration_service.dir/registration_service.cpp.o"
+  "CMakeFiles/registration_service.dir/registration_service.cpp.o.d"
+  "registration_service"
+  "registration_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registration_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("trie")
+subdirs("stats")
+subdirs("corpus")
+subdirs("synth")
+subdirs("model")
+subdirs("meters")
+subdirs("core")
+subdirs("artifact")
+subdirs("analysis")
+subdirs("train")
+subdirs("serve")
+subdirs("eval")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_analysis.dir/grammar_lint.cpp.o"
+  "CMakeFiles/fpsm_analysis.dir/grammar_lint.cpp.o.d"
+  "libfpsm_analysis.a"
+  "libfpsm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/artifact/artifact.cpp" "src/artifact/CMakeFiles/fpsm_artifact.dir/artifact.cpp.o" "gcc" "src/artifact/CMakeFiles/fpsm_artifact.dir/artifact.cpp.o.d"
+  "/root/repo/src/artifact/binary_io.cpp" "src/artifact/CMakeFiles/fpsm_artifact.dir/binary_io.cpp.o" "gcc" "src/artifact/CMakeFiles/fpsm_artifact.dir/binary_io.cpp.o.d"
+  "/root/repo/src/artifact/checksum.cpp" "src/artifact/CMakeFiles/fpsm_artifact.dir/checksum.cpp.o" "gcc" "src/artifact/CMakeFiles/fpsm_artifact.dir/checksum.cpp.o.d"
+  "/root/repo/src/artifact/flat_grammar.cpp" "src/artifact/CMakeFiles/fpsm_artifact.dir/flat_grammar.cpp.o" "gcc" "src/artifact/CMakeFiles/fpsm_artifact.dir/flat_grammar.cpp.o.d"
+  "/root/repo/src/artifact/mapped_file.cpp" "src/artifact/CMakeFiles/fpsm_artifact.dir/mapped_file.cpp.o" "gcc" "src/artifact/CMakeFiles/fpsm_artifact.dir/mapped_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/fpsm_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/meters/CMakeFiles/fpsm_meters.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trie/CMakeFiles/fpsm_trie.dir/DependInfo.cmake"
+  "/root/repo/build2/src/model/CMakeFiles/fpsm_model.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_artifact.dir/artifact.cpp.o"
+  "CMakeFiles/fpsm_artifact.dir/artifact.cpp.o.d"
+  "CMakeFiles/fpsm_artifact.dir/binary_io.cpp.o"
+  "CMakeFiles/fpsm_artifact.dir/binary_io.cpp.o.d"
+  "CMakeFiles/fpsm_artifact.dir/checksum.cpp.o"
+  "CMakeFiles/fpsm_artifact.dir/checksum.cpp.o.d"
+  "CMakeFiles/fpsm_artifact.dir/flat_grammar.cpp.o"
+  "CMakeFiles/fpsm_artifact.dir/flat_grammar.cpp.o.d"
+  "CMakeFiles/fpsm_artifact.dir/mapped_file.cpp.o"
+  "CMakeFiles/fpsm_artifact.dir/mapped_file.cpp.o.d"
+  "libfpsm_artifact.a"
+  "libfpsm_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/fpsm_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/fpsm_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/fuzzy_parse.cpp" "src/core/CMakeFiles/fpsm_core.dir/fuzzy_parse.cpp.o" "gcc" "src/core/CMakeFiles/fpsm_core.dir/fuzzy_parse.cpp.o.d"
+  "/root/repo/src/core/fuzzy_psm.cpp" "src/core/CMakeFiles/fpsm_core.dir/fuzzy_psm.cpp.o" "gcc" "src/core/CMakeFiles/fpsm_core.dir/fuzzy_psm.cpp.o.d"
+  "/root/repo/src/core/grammar_counts.cpp" "src/core/CMakeFiles/fpsm_core.dir/grammar_counts.cpp.o" "gcc" "src/core/CMakeFiles/fpsm_core.dir/grammar_counts.cpp.o.d"
+  "/root/repo/src/core/suggest.cpp" "src/core/CMakeFiles/fpsm_core.dir/suggest.cpp.o" "gcc" "src/core/CMakeFiles/fpsm_core.dir/suggest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trie/CMakeFiles/fpsm_trie.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/model/CMakeFiles/fpsm_model.dir/DependInfo.cmake"
+  "/root/repo/build2/src/meters/CMakeFiles/fpsm_meters.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

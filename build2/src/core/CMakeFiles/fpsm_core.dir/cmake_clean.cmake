@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_core.dir/explain.cpp.o"
+  "CMakeFiles/fpsm_core.dir/explain.cpp.o.d"
+  "CMakeFiles/fpsm_core.dir/fuzzy_parse.cpp.o"
+  "CMakeFiles/fpsm_core.dir/fuzzy_parse.cpp.o.d"
+  "CMakeFiles/fpsm_core.dir/fuzzy_psm.cpp.o"
+  "CMakeFiles/fpsm_core.dir/fuzzy_psm.cpp.o.d"
+  "CMakeFiles/fpsm_core.dir/grammar_counts.cpp.o"
+  "CMakeFiles/fpsm_core.dir/grammar_counts.cpp.o.d"
+  "CMakeFiles/fpsm_core.dir/suggest.cpp.o"
+  "CMakeFiles/fpsm_core.dir/suggest.cpp.o.d"
+  "libfpsm_core.a"
+  "libfpsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

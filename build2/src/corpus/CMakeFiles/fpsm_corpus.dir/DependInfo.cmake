@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/analysis.cpp" "src/corpus/CMakeFiles/fpsm_corpus.dir/analysis.cpp.o" "gcc" "src/corpus/CMakeFiles/fpsm_corpus.dir/analysis.cpp.o.d"
+  "/root/repo/src/corpus/dataset.cpp" "src/corpus/CMakeFiles/fpsm_corpus.dir/dataset.cpp.o" "gcc" "src/corpus/CMakeFiles/fpsm_corpus.dir/dataset.cpp.o.d"
+  "/root/repo/src/corpus/dataset_reader.cpp" "src/corpus/CMakeFiles/fpsm_corpus.dir/dataset_reader.cpp.o" "gcc" "src/corpus/CMakeFiles/fpsm_corpus.dir/dataset_reader.cpp.o.d"
+  "/root/repo/src/corpus/frequency.cpp" "src/corpus/CMakeFiles/fpsm_corpus.dir/frequency.cpp.o" "gcc" "src/corpus/CMakeFiles/fpsm_corpus.dir/frequency.cpp.o.d"
+  "/root/repo/src/corpus/io.cpp" "src/corpus/CMakeFiles/fpsm_corpus.dir/io.cpp.o" "gcc" "src/corpus/CMakeFiles/fpsm_corpus.dir/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_corpus.dir/analysis.cpp.o"
+  "CMakeFiles/fpsm_corpus.dir/analysis.cpp.o.d"
+  "CMakeFiles/fpsm_corpus.dir/dataset.cpp.o"
+  "CMakeFiles/fpsm_corpus.dir/dataset.cpp.o.d"
+  "CMakeFiles/fpsm_corpus.dir/dataset_reader.cpp.o"
+  "CMakeFiles/fpsm_corpus.dir/dataset_reader.cpp.o.d"
+  "CMakeFiles/fpsm_corpus.dir/frequency.cpp.o"
+  "CMakeFiles/fpsm_corpus.dir/frequency.cpp.o.d"
+  "CMakeFiles/fpsm_corpus.dir/io.cpp.o"
+  "CMakeFiles/fpsm_corpus.dir/io.cpp.o.d"
+  "libfpsm_corpus.a"
+  "libfpsm_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/defense.cpp" "src/eval/CMakeFiles/fpsm_eval.dir/defense.cpp.o" "gcc" "src/eval/CMakeFiles/fpsm_eval.dir/defense.cpp.o.d"
+  "/root/repo/src/eval/harness.cpp" "src/eval/CMakeFiles/fpsm_eval.dir/harness.cpp.o" "gcc" "src/eval/CMakeFiles/fpsm_eval.dir/harness.cpp.o.d"
+  "/root/repo/src/eval/render.cpp" "src/eval/CMakeFiles/fpsm_eval.dir/render.cpp.o" "gcc" "src/eval/CMakeFiles/fpsm_eval.dir/render.cpp.o.d"
+  "/root/repo/src/eval/scenario.cpp" "src/eval/CMakeFiles/fpsm_eval.dir/scenario.cpp.o" "gcc" "src/eval/CMakeFiles/fpsm_eval.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/fpsm_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/meters/CMakeFiles/fpsm_meters.dir/DependInfo.cmake"
+  "/root/repo/build2/src/synth/CMakeFiles/fpsm_synth.dir/DependInfo.cmake"
+  "/root/repo/build2/src/model/CMakeFiles/fpsm_model.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trie/CMakeFiles/fpsm_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

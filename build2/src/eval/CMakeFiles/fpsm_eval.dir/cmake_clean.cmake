@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_eval.dir/defense.cpp.o"
+  "CMakeFiles/fpsm_eval.dir/defense.cpp.o.d"
+  "CMakeFiles/fpsm_eval.dir/harness.cpp.o"
+  "CMakeFiles/fpsm_eval.dir/harness.cpp.o.d"
+  "CMakeFiles/fpsm_eval.dir/render.cpp.o"
+  "CMakeFiles/fpsm_eval.dir/render.cpp.o.d"
+  "CMakeFiles/fpsm_eval.dir/scenario.cpp.o"
+  "CMakeFiles/fpsm_eval.dir/scenario.cpp.o.d"
+  "libfpsm_eval.a"
+  "libfpsm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfpsm_eval.a"
+)

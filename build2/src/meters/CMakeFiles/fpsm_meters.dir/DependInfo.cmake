@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meters/ideal/ideal.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/ideal/ideal.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/ideal/ideal.cpp.o.d"
+  "/root/repo/src/meters/keepsm/keepsm.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/keepsm/keepsm.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/keepsm/keepsm.cpp.o.d"
+  "/root/repo/src/meters/markov/markov.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/markov/markov.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/markov/markov.cpp.o.d"
+  "/root/repo/src/meters/nist/nist.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/nist/nist.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/nist/nist.cpp.o.d"
+  "/root/repo/src/meters/pcfg/pcfg.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/pcfg/pcfg.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/pcfg/pcfg.cpp.o.d"
+  "/root/repo/src/meters/segment_table.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/segment_table.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/segment_table.cpp.o.d"
+  "/root/repo/src/meters/zxcvbn/adjacency.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/zxcvbn/adjacency.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/zxcvbn/adjacency.cpp.o.d"
+  "/root/repo/src/meters/zxcvbn/matching.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/zxcvbn/matching.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/zxcvbn/matching.cpp.o.d"
+  "/root/repo/src/meters/zxcvbn/zxcvbn.cpp" "src/meters/CMakeFiles/fpsm_meters.dir/zxcvbn/zxcvbn.cpp.o" "gcc" "src/meters/CMakeFiles/fpsm_meters.dir/zxcvbn/zxcvbn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/trie/CMakeFiles/fpsm_trie.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/model/CMakeFiles/fpsm_model.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_meters.dir/ideal/ideal.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/ideal/ideal.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/keepsm/keepsm.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/keepsm/keepsm.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/markov/markov.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/markov/markov.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/nist/nist.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/nist/nist.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/pcfg/pcfg.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/pcfg/pcfg.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/segment_table.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/segment_table.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/zxcvbn/adjacency.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/zxcvbn/adjacency.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/zxcvbn/matching.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/zxcvbn/matching.cpp.o.d"
+  "CMakeFiles/fpsm_meters.dir/zxcvbn/zxcvbn.cpp.o"
+  "CMakeFiles/fpsm_meters.dir/zxcvbn/zxcvbn.cpp.o.d"
+  "libfpsm_meters.a"
+  "libfpsm_meters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_meters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

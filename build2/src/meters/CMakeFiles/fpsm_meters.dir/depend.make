@@ -1,0 +1,2 @@
+# Empty dependencies file for fpsm_meters.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/montecarlo.cpp" "src/model/CMakeFiles/fpsm_model.dir/montecarlo.cpp.o" "gcc" "src/model/CMakeFiles/fpsm_model.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/model/unusable.cpp" "src/model/CMakeFiles/fpsm_model.dir/unusable.cpp.o" "gcc" "src/model/CMakeFiles/fpsm_model.dir/unusable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_model.dir/montecarlo.cpp.o"
+  "CMakeFiles/fpsm_model.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/fpsm_model.dir/unusable.cpp.o"
+  "CMakeFiles/fpsm_model.dir/unusable.cpp.o.d"
+  "libfpsm_model.a"
+  "libfpsm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

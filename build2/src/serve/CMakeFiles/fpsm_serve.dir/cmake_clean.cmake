@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_serve.dir/grammar_snapshot.cpp.o"
+  "CMakeFiles/fpsm_serve.dir/grammar_snapshot.cpp.o.d"
+  "CMakeFiles/fpsm_serve.dir/meter_service.cpp.o"
+  "CMakeFiles/fpsm_serve.dir/meter_service.cpp.o.d"
+  "CMakeFiles/fpsm_serve.dir/score_cache.cpp.o"
+  "CMakeFiles/fpsm_serve.dir/score_cache.cpp.o.d"
+  "CMakeFiles/fpsm_serve.dir/update_queue.cpp.o"
+  "CMakeFiles/fpsm_serve.dir/update_queue.cpp.o.d"
+  "libfpsm_serve.a"
+  "libfpsm_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/fpsm_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/fpsm_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/edit_distance.cpp" "src/stats/CMakeFiles/fpsm_stats.dir/edit_distance.cpp.o" "gcc" "src/stats/CMakeFiles/fpsm_stats.dir/edit_distance.cpp.o.d"
+  "/root/repo/src/stats/rank.cpp" "src/stats/CMakeFiles/fpsm_stats.dir/rank.cpp.o" "gcc" "src/stats/CMakeFiles/fpsm_stats.dir/rank.cpp.o.d"
+  "/root/repo/src/stats/smoothing.cpp" "src/stats/CMakeFiles/fpsm_stats.dir/smoothing.cpp.o" "gcc" "src/stats/CMakeFiles/fpsm_stats.dir/smoothing.cpp.o.d"
+  "/root/repo/src/stats/zipf.cpp" "src/stats/CMakeFiles/fpsm_stats.dir/zipf.cpp.o" "gcc" "src/stats/CMakeFiles/fpsm_stats.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

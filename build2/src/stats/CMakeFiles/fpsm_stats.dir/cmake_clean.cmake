@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_stats.dir/correlation.cpp.o"
+  "CMakeFiles/fpsm_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/fpsm_stats.dir/edit_distance.cpp.o"
+  "CMakeFiles/fpsm_stats.dir/edit_distance.cpp.o.d"
+  "CMakeFiles/fpsm_stats.dir/rank.cpp.o"
+  "CMakeFiles/fpsm_stats.dir/rank.cpp.o.d"
+  "CMakeFiles/fpsm_stats.dir/smoothing.cpp.o"
+  "CMakeFiles/fpsm_stats.dir/smoothing.cpp.o.d"
+  "CMakeFiles/fpsm_stats.dir/zipf.cpp.o"
+  "CMakeFiles/fpsm_stats.dir/zipf.cpp.o.d"
+  "libfpsm_stats.a"
+  "libfpsm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/behavior.cpp" "src/synth/CMakeFiles/fpsm_synth.dir/behavior.cpp.o" "gcc" "src/synth/CMakeFiles/fpsm_synth.dir/behavior.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/fpsm_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/fpsm_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/population.cpp" "src/synth/CMakeFiles/fpsm_synth.dir/population.cpp.o" "gcc" "src/synth/CMakeFiles/fpsm_synth.dir/population.cpp.o.d"
+  "/root/repo/src/synth/profile.cpp" "src/synth/CMakeFiles/fpsm_synth.dir/profile.cpp.o" "gcc" "src/synth/CMakeFiles/fpsm_synth.dir/profile.cpp.o.d"
+  "/root/repo/src/synth/vocab.cpp" "src/synth/CMakeFiles/fpsm_synth.dir/vocab.cpp.o" "gcc" "src/synth/CMakeFiles/fpsm_synth.dir/vocab.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/util/CMakeFiles/fpsm_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/stats/CMakeFiles/fpsm_stats.dir/DependInfo.cmake"
+  "/root/repo/build2/src/corpus/CMakeFiles/fpsm_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

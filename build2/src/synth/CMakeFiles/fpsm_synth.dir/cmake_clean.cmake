@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_synth.dir/behavior.cpp.o"
+  "CMakeFiles/fpsm_synth.dir/behavior.cpp.o.d"
+  "CMakeFiles/fpsm_synth.dir/generator.cpp.o"
+  "CMakeFiles/fpsm_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/fpsm_synth.dir/population.cpp.o"
+  "CMakeFiles/fpsm_synth.dir/population.cpp.o.d"
+  "CMakeFiles/fpsm_synth.dir/profile.cpp.o"
+  "CMakeFiles/fpsm_synth.dir/profile.cpp.o.d"
+  "CMakeFiles/fpsm_synth.dir/vocab.cpp.o"
+  "CMakeFiles/fpsm_synth.dir/vocab.cpp.o.d"
+  "libfpsm_synth.a"
+  "libfpsm_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

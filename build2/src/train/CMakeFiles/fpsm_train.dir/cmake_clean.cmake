@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_train.dir/sharded_trainer.cpp.o"
+  "CMakeFiles/fpsm_train.dir/sharded_trainer.cpp.o.d"
+  "libfpsm_train.a"
+  "libfpsm_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

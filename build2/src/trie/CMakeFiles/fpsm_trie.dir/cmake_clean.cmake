@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_trie.dir/flat_trie.cpp.o"
+  "CMakeFiles/fpsm_trie.dir/flat_trie.cpp.o.d"
+  "CMakeFiles/fpsm_trie.dir/trie.cpp.o"
+  "CMakeFiles/fpsm_trie.dir/trie.cpp.o.d"
+  "libfpsm_trie.a"
+  "libfpsm_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/chars.cpp" "src/util/CMakeFiles/fpsm_util.dir/chars.cpp.o" "gcc" "src/util/CMakeFiles/fpsm_util.dir/chars.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/util/CMakeFiles/fpsm_util.dir/format.cpp.o" "gcc" "src/util/CMakeFiles/fpsm_util.dir/format.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/fpsm_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/fpsm_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/wordlists.cpp" "src/util/CMakeFiles/fpsm_util.dir/wordlists.cpp.o" "gcc" "src/util/CMakeFiles/fpsm_util.dir/wordlists.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

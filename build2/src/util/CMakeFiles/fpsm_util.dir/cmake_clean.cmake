@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpsm_util.dir/chars.cpp.o"
+  "CMakeFiles/fpsm_util.dir/chars.cpp.o.d"
+  "CMakeFiles/fpsm_util.dir/format.cpp.o"
+  "CMakeFiles/fpsm_util.dir/format.cpp.o.d"
+  "CMakeFiles/fpsm_util.dir/rng.cpp.o"
+  "CMakeFiles/fpsm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fpsm_util.dir/wordlists.cpp.o"
+  "CMakeFiles/fpsm_util.dir/wordlists.cpp.o.d"
+  "libfpsm_util.a"
+  "libfpsm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpsm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/artifact_test.dir/artifact_test.cpp.o"
+  "CMakeFiles/artifact_test.dir/artifact_test.cpp.o.d"
+  "artifact_test"
+  "artifact_test.pdb"
+  "artifact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/artifact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_models_test.dir/deep_models_test.cpp.o"
+  "CMakeFiles/deep_models_test.dir/deep_models_test.cpp.o.d"
+  "deep_models_test"
+  "deep_models_test.pdb"
+  "deep_models_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

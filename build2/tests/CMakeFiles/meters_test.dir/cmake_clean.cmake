@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meters_test.dir/meters_test.cpp.o"
+  "CMakeFiles/meters_test.dir/meters_test.cpp.o.d"
+  "meters_test"
+  "meters_test.pdb"
+  "meters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

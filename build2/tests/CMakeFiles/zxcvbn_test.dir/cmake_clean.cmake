@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zxcvbn_test.dir/zxcvbn_test.cpp.o"
+  "CMakeFiles/zxcvbn_test.dir/zxcvbn_test.cpp.o.d"
+  "zxcvbn_test"
+  "zxcvbn_test.pdb"
+  "zxcvbn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zxcvbn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

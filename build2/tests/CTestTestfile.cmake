@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/util_test[1]_include.cmake")
+include("/root/repo/build2/tests/trie_test[1]_include.cmake")
+include("/root/repo/build2/tests/stats_test[1]_include.cmake")
+include("/root/repo/build2/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build2/tests/model_test[1]_include.cmake")
+include("/root/repo/build2/tests/meters_test[1]_include.cmake")
+include("/root/repo/build2/tests/core_test[1]_include.cmake")
+include("/root/repo/build2/tests/synth_test[1]_include.cmake")
+include("/root/repo/build2/tests/eval_test[1]_include.cmake")
+include("/root/repo/build2/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build2/tests/integration_test[1]_include.cmake")
+include("/root/repo/build2/tests/defense_test[1]_include.cmake")
+include("/root/repo/build2/tests/zxcvbn_test[1]_include.cmake")
+include("/root/repo/build2/tests/deep_models_test[1]_include.cmake")
+include("/root/repo/build2/tests/serialization_fuzz_test[1]_include.cmake")
+include("/root/repo/build2/tests/serve_test[1]_include.cmake")
+include("/root/repo/build2/tests/artifact_test[1]_include.cmake")
+include("/root/repo/build2/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build2/tests/train_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzypsm.dir/fuzzypsm_cli.cpp.o"
+  "CMakeFiles/fuzzypsm.dir/fuzzypsm_cli.cpp.o.d"
+  "fuzzypsm"
+  "fuzzypsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzypsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

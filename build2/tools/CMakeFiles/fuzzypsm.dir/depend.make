@@ -1,0 +1,2 @@
+# Empty dependencies file for fuzzypsm.
+# This may be replaced when dependencies are built.
