@@ -1,17 +1,35 @@
-// Serving-layer throughput: aggregate scores/sec at 1/2/4/8 reader threads
-// while a writer continuously floods update() and the background publisher
-// rebuilds + swaps snapshots.
+// Serving-layer SLO bench: mixed-traffic reader scaling plus tail-latency
+// percentiles for the batched scoring path, written machine-readable to
+// ./BENCH_serve.json (DESIGN.md §11).
 //
-// This is the deployment-shaped claim behind src/serve: because readers
-// score immutable snapshots pinned by one pointer copy (RCU) and hot
-// passwords hit the generation-keyed LRU cache, reader throughput scales
-// with cores even with an active writer — the paper's adaptive update
-// phase no longer serializes the meter. On a single-core host the table
-// degenerates to ~1x by construction; the per-configuration absolute
-// numbers remain meaningful.
+// Section 1 — throughput: aggregate scores/sec at 1/2/4/8 reader threads
+// while a writer continuously floods update() and the background publisher
+// rebuilds + swaps snapshots. This is the deployment-shaped claim behind
+// src/serve: because readers score immutable snapshots pinned by one
+// pointer copy (RCU) and hot passwords hit the generation-keyed LRU cache,
+// reader throughput scales with cores even with an active writer. On a
+// single-core host the table degenerates to ~1x by construction; the
+// per-configuration absolute numbers remain meaningful.
+//
+// Section 2 — latency: one reader issues scoreBatch() calls at batch sizes
+// {1, 64, 512} against the same update-flooded service and records every
+// call's wall time. Requests are occurrence-weighted draws from the
+// synthesized leak, so popularity is Zipf-shaped like real registration
+// traffic (hot head -> cache hits, long tail -> full parses). Reported
+// p50/p95/p99 are per-call latencies; QPS counts passwords, not calls.
+// Batch size 1 doubles as the single-password SLO baseline.
+//
+// Usage: bench_serve_throughput [scale] [duration-ms]
+//   scale        fraction of the paper's dataset sizes (bench_common.h)
+//   duration-ms  per-configuration measurement window (default 500; CI
+//                smoke runs pass a small value to bound wall time)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,6 +38,7 @@
 #include "serve/meter_service.h"
 #include "util/format.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 using namespace fpsm;
 
@@ -31,6 +50,24 @@ struct MixedRun {
   std::uint64_t publishes = 0;
   double cacheHitRate = 0.0;
 };
+
+/// Shared update flood: a steady stream of accepted registrations. The
+/// short sleep models inter-arrival time and keeps the writer from
+/// monopolizing a core — the contention of interest is snapshot publish
+/// vs read, not writer CPU burn.
+std::thread startWriter(MeterService& service,
+                        const std::vector<std::string>& pool,
+                        std::atomic<bool>& stop) {
+  return std::thread([&] {
+    Rng rng(7777);
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < 8; ++i) {
+        service.update(pool[rng.below(pool.size())], 1);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+}
 
 MixedRun runMixedTraffic(const FuzzyPsm& grammar,
                          const std::vector<std::string>& pool,
@@ -58,20 +95,7 @@ MixedRun runMixedTraffic(const FuzzyPsm& grammar,
       totalScores.fetch_add(local, std::memory_order_relaxed);
     });
   }
-
-  // The concurrent writer: a steady stream of accepted registrations. The
-  // short sleep models inter-arrival time and keeps the writer from
-  // monopolizing a core — the contention of interest is snapshot publish
-  // vs read, not writer CPU burn.
-  std::thread writer([&] {
-    Rng rng(7777);
-    while (!stop.load(std::memory_order_acquire)) {
-      for (int i = 0; i < 8; ++i) {
-        service.update(pool[rng.below(pool.size())], 1);
-      }
-      std::this_thread::sleep_for(std::chrono::microseconds(200));
-    }
-  });
+  std::thread writer = startWriter(service, pool, stop);
 
   const auto start = std::chrono::steady_clock::now();
   std::this_thread::sleep_for(duration);
@@ -91,13 +115,84 @@ MixedRun runMixedTraffic(const FuzzyPsm& grammar,
   return run;
 }
 
+struct LatencyRun {
+  std::size_t batchSize = 0;
+  std::uint64_t calls = 0;
+  double p50us = 0.0;
+  double p95us = 0.0;
+  double p99us = 0.0;
+  double qps = 0.0;  ///< passwords scored per second (calls * batch / secs)
+  double cacheHitRate = 0.0;
+};
+
+/// Nearest-rank percentile over the sorted sample (q in [0, 1]).
+double percentileUs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * sorted.size());
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+LatencyRun runBatchLatency(const FuzzyPsm& grammar,
+                           const std::vector<std::string>& pool,
+                           std::size_t batchSize,
+                           std::chrono::milliseconds duration) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = true;
+  cfg.publishInterval = std::chrono::milliseconds(10);
+  cfg.cacheCapacity = 8192;
+  MeterService service(grammar, cfg);
+
+  std::atomic<bool> stop{false};
+  std::thread writer = startWriter(service, pool, stop);
+
+  Rng rng(2024);
+  std::vector<std::string> request(batchSize);
+  std::vector<double> latenciesUs;
+  latenciesUs.reserve(1 << 16);
+  std::uint64_t scored = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + duration;
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Request assembly happens outside the timed section: the SLO being
+    // measured is scoreBatch itself (pin + cache sweep + parse), not the
+    // caller's string shuffling.
+    for (auto& pw : request) pw = pool[rng.below(pool.size())];
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto scores = service.scoreBatch(request);
+    const auto t1 = std::chrono::steady_clock::now();
+    latenciesUs.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    scored += scores.size();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  std::sort(latenciesUs.begin(), latenciesUs.end());
+  LatencyRun run;
+  run.batchSize = batchSize;
+  run.calls = latenciesUs.size();
+  run.p50us = percentileUs(latenciesUs, 0.50);
+  run.p95us = percentileUs(latenciesUs, 0.95);
+  run.p99us = percentileUs(latenciesUs, 0.99);
+  run.qps = static_cast<double>(scored) / secs;
+  run.cacheHitRate = service.stats().cache.hitRate();
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto cfg = bench::defaultConfig(argc, argv);
+  auto duration = std::chrono::milliseconds(500);
+  if (argc > 2) {
+    const long ms = std::atol(argv[2]);
+    if (ms > 0) duration = std::chrono::milliseconds(ms);
+  }
   bench::printHeader(
-      "Serving throughput: snapshot readers vs concurrent update stream",
-      cfg);
+      "Serving SLOs: reader scaling + batched-path tail latency", cfg);
   EvalHarness harness(cfg);
 
   FuzzyPsm psm;
@@ -117,16 +212,21 @@ int main(int argc, char** argv) {
     pool.emplace_back(traffic.sampleOccurrence(poolRng));
   }
 
-  const auto duration = std::chrono::milliseconds(500);
-  std::printf("duration per configuration: %lld ms, writer active: yes\n\n",
-              static_cast<long long>(duration.count()));
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "duration per configuration: %lld ms, writer active: yes, "
+      "simd: %s, hardware threads: %u\n\n",
+      static_cast<long long>(duration.count()), simdLevelName(activeSimdLevel()),
+      hw);
 
+  std::vector<std::pair<unsigned, MixedRun>> mixed;
   TextTable table({"Readers", "Scores/sec", "Speedup", "Publishes",
                    "Cache hit rate"});
   double baseline = 0.0;
   for (const unsigned readers : {1u, 2u, 4u, 8u}) {
     const MixedRun run = runMixedTraffic(psm, pool, readers, duration);
     if (readers == 1) baseline = run.scoresPerSec;
+    mixed.emplace_back(readers, run);
     table.addRow({std::to_string(readers),
                   fmtCount(static_cast<std::uint64_t>(run.scoresPerSec)),
                   fmtDouble(baseline > 0.0 ? run.scoresPerSec / baseline : 0.0,
@@ -135,8 +235,55 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
   std::printf(
-      "\nhardware threads: %u (speedup saturates at the core count; the\n"
-      "8-reader row needs >= 8 cores to show its full scaling)\n",
-      std::thread::hardware_concurrency());
+      "\n(speedup saturates at the core count; the 8-reader row needs\n"
+      ">= 8 cores to show its full scaling)\n\n");
+
+  std::vector<LatencyRun> latency;
+  TextTable slo({"Batch", "Calls", "p50 us", "p95 us", "p99 us",
+                 "Passwords/sec", "Cache hit rate"});
+  for (const std::size_t batchSize :
+       {std::size_t{1}, std::size_t{64}, std::size_t{512}}) {
+    const LatencyRun run = runBatchLatency(psm, pool, batchSize, duration);
+    latency.push_back(run);
+    slo.addRow({std::to_string(run.batchSize), fmtCount(run.calls),
+                fmtDouble(run.p50us, 1), fmtDouble(run.p95us, 1),
+                fmtDouble(run.p99us, 1),
+                fmtCount(static_cast<std::uint64_t>(run.qps)),
+                fmtPercent(run.cacheHitRate)});
+  }
+  std::printf("scoreBatch tail latency (per call, writer active):\n%s",
+              slo.render().c_str());
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\n";
+  json << "  \"bench\": \"serve_throughput\",\n";
+  json << "  \"scale\": " << cfg.scale << ",\n";
+  json << "  \"duration_ms\": " << duration.count() << ",\n";
+  json << "  \"hardware_concurrency\": " << hw << ",\n";
+  json << "  \"simd\": \"" << simdLevelName(activeSimdLevel()) << "\",\n";
+  json << "  \"mixed_traffic\": [\n";
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    const auto& [readers, run] = mixed[i];
+    json << "    {\"readers\": " << readers
+         << ", \"scores_per_sec\": " << run.scoresPerSec
+         << ", \"publishes\": " << run.publishes
+         << ", \"cache_hit_rate\": " << run.cacheHitRate << "}"
+         << (i + 1 < mixed.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"batch_latency\": [\n";
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const auto& run = latency[i];
+    json << "    {\"batch_size\": " << run.batchSize
+         << ", \"calls\": " << run.calls << ", \"p50_us\": " << run.p50us
+         << ", \"p95_us\": " << run.p95us << ", \"p99_us\": " << run.p99us
+         << ", \"passwords_per_sec\": " << run.qps
+         << ", \"cache_hit_rate\": " << run.cacheHitRate << "}"
+         << (i + 1 < latency.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+  json.close();
+  std::printf("\nwrote BENCH_serve.json\n");
   return 0;
 }

@@ -119,4 +119,32 @@ double FlatGrammarView::log2Prob(std::string_view pw) const {
   return derivationLog2Prob(parse(pw));
 }
 
+void FlatGrammarView::log2ProbBatch(const std::string_view* pws,
+                                    std::size_t n, double* out) const {
+  if (!trained()) throw NotTrained("FlatGrammarView: not trained");
+  // One parser and one scratch for the whole batch: construction cost and
+  // buffer allocations amortize across the n passwords, and the scratch's
+  // kernel-filled byte tables replace the per-character predicate calls of
+  // the scalar path. Scores are bit-identical because the parse skeleton
+  // is shared (core/fuzzy_parse.cpp) and derivationLog2Prob is the same
+  // function either way.
+  const BasicFuzzyParser<FlatTrieView> parser(trie_, config_,
+                                              &reversedTrie_);
+  ParseScratch scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.prepare(pws[i]);
+    if (!scratch.valid()) {
+      out[i] = -kInfiniteBits;  // same fate isValidPassword hands log2Prob
+      continue;
+    }
+    out[i] = derivationLog2Prob(parser.parse(pws[i], scratch));
+  }
+}
+
+void FlatGrammarView::strengthBitsBatch(const std::string_view* pws,
+                                        std::size_t n, double* out) const {
+  log2ProbBatch(pws, n, out);
+  for (std::size_t i = 0; i < n; ++i) out[i] = -out[i];
+}
+
 }  // namespace fpsm

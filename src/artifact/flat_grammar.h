@@ -84,6 +84,20 @@ class FlatGrammarView {
   double derivationLog2Prob(const FuzzyParse& parse) const;
   bool trained() const { return structures_.total() > 0; }
 
+  // --- batch scoring ------------------------------------------------------
+  /// Scores n passwords in one call: out[i] is bit-identical to
+  /// log2Prob(pws[i]) (the differential suite in tests/batch_test.cpp
+  /// enforces equality at the bit-pattern level). The batch amortizes
+  /// parser construction and reuses one ParseScratch, whose per-byte
+  /// tables are filled by the dispatched SIMD kernels (util/byte_scan.h);
+  /// invalid passwords score -inf exactly like the scalar path. Safe to
+  /// call concurrently — all mutable state is local to the call.
+  void log2ProbBatch(const std::string_view* pws, std::size_t n,
+                     double* out) const;
+  /// strengthBits() over a batch: the exact negation of log2ProbBatch.
+  void strengthBitsBatch(const std::string_view* pws, std::size_t n,
+                         double* out) const;
+
   // --- introspection -----------------------------------------------------
   const FuzzyConfig& config() const { return config_; }
   const FlatTrieView& baseDictionary() const { return trie_; }

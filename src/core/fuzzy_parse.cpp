@@ -3,11 +3,67 @@
 #include <algorithm>
 
 #include "trie/flat_trie.h"
+#include "util/byte_scan.h"
 #include "util/chars.h"
 #include "util/check.h"
 #include "util/error.h"
 
 namespace fpsm {
+namespace {
+
+// The two per-byte predicate providers the parse skeleton is generic over.
+// ScalarBytes re-derives each answer from the character tables on every
+// query — the reference path. TableBytes reads the kernel-precomputed
+// ParseScratch arrays — the batch path. Their answers are identical for
+// every byte (the kernel property tests enforce it), so the two parse
+// paths differ only in how predicates are evaluated, never in outcome.
+
+struct ScalarBytes {
+  std::string_view pw;
+
+  char partnerAt(std::size_t pos) const {
+    const char c = pw[pos];
+    // Only exact bidirectional pairs: 'A' maps toward '@' via its lower
+    // case, but '@' renders back as 'a', not 'A', so the roundtrip check
+    // excludes upper-case characters from leet matching.
+    if (const auto partner = leetPartner(c);
+        partner && leetPartner(*partner) == c) {
+      return *partner;
+    }
+    return '\0';
+  }
+  bool upperAt(std::size_t pos) const { return isUpper(pw[pos]); }
+  SegmentClass classAt(std::size_t pos) const {
+    return segmentClassOf(pw[pos]);
+  }
+};
+
+struct TableBytes {
+  const ParseScratch* scratch;
+
+  char partnerAt(std::size_t pos) const { return scratch->partner()[pos]; }
+  bool upperAt(std::size_t pos) const { return scratch->upper()[pos] != 0; }
+  SegmentClass classAt(std::size_t pos) const {
+    return static_cast<SegmentClass>(scratch->cls()[pos]);
+  }
+};
+
+}  // namespace
+
+void ParseScratch::prepare(std::string_view pw) {
+  const std::size_t n = pw.size();
+  if (partner_.size() < n) {
+    partner_.resize(n);
+    upper_.resize(n);
+    cls_.resize(n);
+  }
+  const ByteScanKernels& kernels = byteScanKernels();
+  kernels.leetPartnerScan(pw.data(), n, partner_.data());
+  kernels.upperScan(pw.data(), n, upper_.data());
+  kernels.segmentClassScan(pw.data(), n, cls_.data());
+  valid_ = n > 0 && kernels.allPrintableAscii(pw.data(), n);
+  prepared_ = pw;
+}
 
 template <typename TrieT>
 BasicFuzzyParser<TrieT>::BasicFuzzyParser(const TrieT& trie,
@@ -27,9 +83,12 @@ BasicFuzzyParser<TrieT>::BasicFuzzyParser(const TrieT& trie,
 }
 
 template <typename TrieT>
+template <typename Bytes>
 typename BasicFuzzyParser<TrieT>::MatchResult
-BasicFuzzyParser<TrieT>::longestMatch(std::string_view pw,
-                                      std::size_t from) const {
+BasicFuzzyParser<TrieT>::longestMatchImpl(std::string_view pw,
+                                          std::size_t from,
+                                          const Bytes& bytes,
+                                          std::string& path) const {
   MatchResult best;
   if (trie_.empty() || from >= pw.size()) return best;
 
@@ -39,7 +98,7 @@ BasicFuzzyParser<TrieT>::longestMatch(std::string_view pw,
   // prunes almost immediately in practice; the node budget below bounds
   // the adversarial case (a trie dense in leet-pair strings could
   // otherwise branch exponentially on input like "a@a@a@...").
-  std::string path;
+  path.clear();
   path.reserve(pw.size() - from);
   constexpr int kNodeBudget = 20000;
   int budget = kNodeBudget;
@@ -67,15 +126,11 @@ BasicFuzzyParser<TrieT>::longestMatch(std::string_view pw,
     int n = 0;
     cands[n++] = {c, 0};
     if (config_.matchLeet) {
-      // Only exact bidirectional pairs: 'A' maps toward '@' via its lower
-      // case, but '@' renders back as 'a', not 'A', so the roundtrip check
-      // excludes upper-case characters from leet matching.
-      if (const auto partner = leetPartner(c);
-          partner && leetPartner(*partner) == c) {
-        cands[n++] = {*partner, 1};
+      if (const char partner = bytes.partnerAt(pos); partner != '\0') {
+        cands[n++] = {partner, 1};
       }
     }
-    if (config_.matchCapitalization && depth == 0 && isUpper(c)) {
+    if (config_.matchCapitalization && depth == 0 && bytes.upperAt(pos)) {
       cands[n++] = {toLower(c), 1};
     }
     for (int k = 0; k < n; ++k) {
@@ -88,6 +143,14 @@ BasicFuzzyParser<TrieT>::longestMatch(std::string_view pw,
   };
   dfs(dfs, TrieT::kRoot, 0, 0);
   return best;
+}
+
+template <typename TrieT>
+typename BasicFuzzyParser<TrieT>::MatchResult
+BasicFuzzyParser<TrieT>::longestMatch(std::string_view pw,
+                                      std::size_t from) const {
+  std::string path;
+  return longestMatchImpl(pw, from, ScalarBytes{pw}, path);
 }
 
 std::vector<LeetSite> leetSitesFor(std::string_view base,
@@ -124,12 +187,14 @@ std::string renderSegment(std::string_view base, bool capitalized,
 }
 
 template <typename TrieT>
-FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw) const {
-  validatePassword(pw);
+template <typename Bytes>
+FuzzyParse BasicFuzzyParser<TrieT>::parseImpl(std::string_view pw,
+                                              const Bytes& bytes,
+                                              std::string& path) const {
   FuzzyParse result;
   std::size_t i = 0;
   while (i < pw.size()) {
-    const MatchResult m = longestMatch(pw, i);
+    const MatchResult m = longestMatchImpl(pw, i, bytes, path);
     // Reverse extension: the longest *exact* backwards match; preferred
     // only when strictly longer than the fuzzy forward match (forward
     // matches carry richer transformation information).
@@ -154,24 +219,25 @@ FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw) const {
     } else if (m.len >= config_.minBaseWordLen) {
       seg.base = m.base;
       seg.fromTrie = true;
-      seg.capitalized = isUpper(pw[i]) && !seg.base.empty() &&
+      seg.capitalized = bytes.upperAt(i) && !seg.base.empty() &&
                         seg.base[0] == toLower(pw[i]);
       seg.leetSites = leetSitesFor(seg.base, pw.substr(i, m.len));
       i += m.len;
     } else {
       // Fallback: maximal same-class run (traditional PCFG segmentation).
-      const SegmentClass cls = segmentClassOf(pw[i]);
+      const SegmentClass cls = bytes.classAt(i);
       std::size_t j = i + 1;
-      while (j < pw.size() && segmentClassOf(pw[j]) == cls) {
+      while (j < pw.size() && bytes.classAt(j) == cls) {
         if (config_.retryTrieInsideRuns &&
-            longestMatch(pw, j).len >= config_.minBaseWordLen) {
+            longestMatchImpl(pw, j, bytes, path).len >=
+                config_.minBaseWordLen) {
           break;
         }
         ++j;
       }
       std::string base(pw.substr(i, j - i));
       seg.fromTrie = false;
-      seg.capitalized = isUpper(base[0]);
+      seg.capitalized = bytes.upperAt(i);
       if (seg.capitalized) base[0] = toLower(base[0]);
       seg.base = std::move(base);
       // Fallback text *is* the base form: every leet-capable character is
@@ -195,6 +261,30 @@ FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw) const {
     result.structure += std::to_string(s.length());
   }
   return result;
+}
+
+template <typename TrieT>
+FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw) const {
+  validatePassword(pw);
+  std::string path;
+  return parseImpl(pw, ScalarBytes{pw}, path);
+}
+
+template <typename TrieT>
+FuzzyParse BasicFuzzyParser<TrieT>::parse(std::string_view pw,
+                                          ParseScratch& scratch) const {
+  // The scratch must describe exactly this string (same bytes, same
+  // buffer); a stale scratch would silently parse under another password's
+  // tables.
+  FPSM_DCHECK(scratch.prepared().data() == pw.data() &&
+              scratch.prepared().size() == pw.size());
+  if (!scratch.valid()) {
+    validatePassword(pw);  // throws with the canonical message
+    // The kernels and validatePassword implement the same predicate; a
+    // disagreement means a broken byte kernel, not a caller error.
+    FPSM_CHECK(false);
+  }
+  return parseImpl(pw, TableBytes{&scratch}, scratch.path_);
 }
 
 template class BasicFuzzyParser<Trie>;

@@ -71,6 +71,48 @@ struct FuzzyParse {
   std::string structure;
 };
 
+/// Reusable per-password byte tables for the batched scoring path.
+///
+/// prepare(pw) answers the parser's per-byte questions for the whole
+/// password up front with the dispatched SIMD kernels (util/byte_scan.h):
+/// leet partner, upper-case flag, and L/D/S class per byte, plus overall
+/// printable-ASCII validity. parse(pw, scratch) then reads these tables
+/// inside the DFS instead of re-deriving each predicate per node visit —
+/// same automaton, same candidate order, so the parse (and every score
+/// downstream of it) is bit-identical to the scalar path by construction.
+///
+/// A scratch owns its buffers and is reused across the passwords of a
+/// batch to amortize allocation; it is NOT thread-safe — one scratch per
+/// worker. prepared() aliases the password passed to prepare() and is
+/// valid only while that string is.
+class ParseScratch {
+ public:
+  /// Runs the byte kernels over pw, replacing any previous contents.
+  void prepare(std::string_view pw);
+
+  /// True if pw was non-empty printable ASCII — the exact predicate of
+  /// isValidPassword, computed by the vectorized scan.
+  bool valid() const { return valid_; }
+  /// The password the tables describe (for staleness checks).
+  std::string_view prepared() const { return prepared_; }
+
+  /// Per-byte tables, length prepared().size().
+  const char* partner() const { return partner_.data(); }
+  const unsigned char* upper() const { return upper_.data(); }
+  const unsigned char* cls() const { return cls_.data(); }
+
+ private:
+  template <typename TrieT>
+  friend class BasicFuzzyParser;
+
+  std::vector<char> partner_;
+  std::vector<unsigned char> upper_;
+  std::vector<unsigned char> cls_;
+  std::string path_;  ///< DFS path buffer, reused across longestMatch calls
+  std::string_view prepared_;
+  bool valid_ = false;
+};
+
 /// Stateless parsing engine over a borrowed trie. The trie (and the
 /// optional reversed trie, required when config.matchReverse is set) must
 /// outlive the parser.
@@ -104,9 +146,23 @@ class BasicFuzzyParser {
   /// fallback elsewhere. The segments tile the password exactly.
   FuzzyParse parse(std::string_view pw) const;
 
+  /// Batch-path parse: identical result to parse(pw), but per-byte
+  /// predicates come from the scratch's precomputed kernel tables and the
+  /// DFS path buffer is reused across calls. The caller must have called
+  /// scratch.prepare(pw) (DCHECK-enforced); throws InvalidArgument on an
+  /// invalid password exactly like parse(pw).
+  FuzzyParse parse(std::string_view pw, ParseScratch& scratch) const;
+
   const FuzzyConfig& config() const { return config_; }
 
  private:
+  template <typename Bytes>
+  MatchResult longestMatchImpl(std::string_view pw, std::size_t from,
+                               const Bytes& bytes, std::string& path) const;
+  template <typename Bytes>
+  FuzzyParse parseImpl(std::string_view pw, const Bytes& bytes,
+                       std::string& path) const;
+
   const TrieT& trie_;
   const TrieT* reversedTrie_;
   FuzzyConfig config_;

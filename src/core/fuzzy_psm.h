@@ -83,6 +83,17 @@ class FuzzyPsm : public ProbabilisticModel {
   /// tests, and the worked Fig. 11 example).
   FuzzyParse parse(std::string_view pw) const;
 
+  // --- batch scoring ------------------------------------------------------
+  /// Scores n passwords in one call; out[i] is bit-identical to
+  /// log2Prob(pws[i]). Shares one parser and one SIMD-kernel-backed
+  /// ParseScratch across the batch (see FlatGrammarView::log2ProbBatch,
+  /// the artifact twin of this method). Invalid passwords score -inf.
+  void log2ProbBatch(const std::string_view* pws, std::size_t n,
+                     double* out) const;
+  /// strengthBits() over a batch: the exact negation of log2ProbBatch.
+  void strengthBitsBatch(const std::string_view* pws, std::size_t n,
+                         double* out) const;
+
   // --- grammar introspection (Tables IV-VI, serialization, tests) -------
   const FuzzyConfig& config() const { return config_; }
   const Trie& baseDictionary() const { return trie_; }

@@ -24,6 +24,7 @@
 // computed from.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -66,6 +67,19 @@ class GrammarSnapshot {
   double strengthBits(std::string_view pw) const {
     return artifact_ ? artifact_->grammar().strengthBits(pw)
                      : grammar_.strengthBits(pw);
+  }
+  /// Batch scoring against this one snapshot: out[i] is bit-identical to
+  /// strengthBits(pws[i]). Both flavors route to their grammar's batch
+  /// path (shared parser + SIMD-kernel ParseScratch per call); like all
+  /// scoring entry points it is synchronization-free and safe from any
+  /// number of threads.
+  void strengthBitsBatch(const std::string_view* pws, std::size_t n,
+                         double* out) const {
+    if (artifact_) {
+      artifact_->grammar().strengthBitsBatch(pws, n, out);
+    } else {
+      grammar_.strengthBitsBatch(pws, n, out);
+    }
   }
   FuzzyParse parse(std::string_view pw) const {
     return artifact_ ? artifact_->grammar().parse(pw) : grammar_.parse(pw);

@@ -1,5 +1,6 @@
 #include "serve/meter_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "train/sharded_trainer.h"
@@ -70,25 +71,55 @@ std::vector<MeterService::Score> MeterService::scoreBatch(
   scoreCount_.fetch_add(pws.size(), std::memory_order_relaxed);
   // One snapshot for the whole batch: every result shares a generation, so
   // a publish landing mid-batch cannot mix two grammars in one response.
+  // The RCU pin, the cache probes, and the parser setup are each paid once
+  // per batch instead of once per password.
   const auto snap = current_.load();
   const std::uint64_t gen = snap->generation();
   std::vector<Score> out(pws.size());
+
+  // Phase 1: one cache sweep. Hits are final; misses queue for scoring.
+  std::vector<std::size_t> miss;
+  miss.reserve(pws.size());
+  for (std::size_t i = 0; i < pws.size(); ++i) {
+    if (config_.cacheCapacity > 0) {
+      if (const auto hit = cache_.lookup(gen, pws[i])) {
+        out[i] = Score{*hit, gen, true};
+        continue;
+      }
+    }
+    miss.push_back(i);
+  }
+
+  // Phase 2: batch-score the misses. Contiguous chunks fan out over
+  // worker threads; within a chunk the snapshot's batch path shares one
+  // parser and one SIMD ParseScratch, so each worker runs the same
+  // bit-exact pipeline the single-password score() does.
+  std::vector<std::string_view> views(miss.size());
+  std::vector<double> bits(miss.size());
+  for (std::size_t j = 0; j < miss.size(); ++j) views[j] = pws[miss[j]];
+  const unsigned workers =
+      parallelWorkerCount(miss.size(), requestedThreads);
+  const std::size_t chunk =
+      miss.empty() ? 1 : (miss.size() + workers - 1) / workers;
+  const std::size_t chunks =
+      miss.empty() ? 0 : (miss.size() + chunk - 1) / chunk;
   parallelFor(
-      pws.size(),
-      [&](std::size_t i) {
-        if (config_.cacheCapacity > 0) {
-          if (const auto hit = cache_.lookup(gen, pws[i])) {
-            out[i] = Score{*hit, gen, true};
-            return;
-          }
-        }
-        const double bits = snap->strengthBits(pws[i]);
-        if (config_.cacheCapacity > 0) {
-          cache_.insert(gen, pws[i], bits);
-        }
-        out[i] = Score{bits, gen, false};
+      chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = c * chunk;
+        const std::size_t hi = std::min(miss.size(), lo + chunk);
+        snap->strengthBitsBatch(views.data() + lo, hi - lo,
+                                bits.data() + lo);
       },
-      requestedThreads);
+      chunks == 0 ? 1 : static_cast<unsigned>(chunks));
+
+  // Phase 3: publish results and warm the cache with the fresh scores.
+  for (std::size_t j = 0; j < miss.size(); ++j) {
+    out[miss[j]] = Score{bits[j], gen, false};
+    if (config_.cacheCapacity > 0) {
+      cache_.insert(gen, pws[miss[j]], bits[j]);
+    }
+  }
   return out;
 }
 

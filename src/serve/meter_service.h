@@ -113,8 +113,14 @@ class MeterService {
   double strengthBits(std::string_view pw) const { return score(pw).bits; }
 
   /// Scores a batch against ONE consistent snapshot (all results share a
-  /// generation), fanning out over util/parallel.h. `requestedThreads`
-  /// follows parallelFor semantics (0 = auto).
+  /// generation, so a publish landing mid-batch cannot mix grammars in one
+  /// response). The batch path amortizes the RCU pin, sweeps the score
+  /// cache once, and scores the misses in contiguous chunks through the
+  /// snapshot's batch pipeline (shared parser + SIMD byte kernels; see
+  /// FlatGrammarView::log2ProbBatch) fanned out over util/parallel.h.
+  /// Every Score.bits is bit-identical to what score() would return
+  /// against the same snapshot — enforced by tests/batch_test.cpp.
+  /// `requestedThreads` follows parallelFor semantics (0 = auto).
   std::vector<Score> scoreBatch(const std::vector<std::string>& pws,
                                 unsigned requestedThreads = 0) const;
 

@@ -1,0 +1,266 @@
+#include "util/byte_scan.h"
+
+#include <cstdint>
+
+#include "util/chars.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#endif
+
+namespace fpsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These are the semantics; the vector kernels
+// below must reproduce them byte for byte (tests/batch_test.cpp).
+// ---------------------------------------------------------------------------
+
+// 256-entry partner table: only the 12 bytes on a bidirectional pair map to
+// a non-zero partner. Built from kLeetRules so the table can never drift
+// from the rule list the parser uses.
+constexpr std::array<char, 256> makePartnerTable() {
+  std::array<char, 256> t{};
+  for (const LeetRule& r : kLeetRules) {
+    t[static_cast<unsigned char>(r.letter)] = r.sub;
+    t[static_cast<unsigned char>(r.sub)] = r.letter;
+  }
+  return t;
+}
+
+constexpr auto kPartnerTable = makePartnerTable();
+
+void leetPartnerScanScalar(const char* src, std::size_t n, char* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = kPartnerTable[static_cast<unsigned char>(src[i])];
+  }
+}
+
+void upperScanScalar(const char* src, std::size_t n, unsigned char* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = isUpper(src[i]) ? 1 : 0;
+  }
+}
+
+void segmentClassScanScalar(const char* src, std::size_t n,
+                            unsigned char* dst) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<unsigned char>(segmentClassOf(src[i]));
+  }
+}
+
+bool allPrintableAsciiScalar(const char* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!isPrintableAscii(src[i])) return false;
+  }
+  return true;
+}
+
+constexpr ByteScanKernels kScalarKernels = {
+    leetPartnerScanScalar,
+    upperScanScalar,
+    segmentClassScanScalar,
+    allPrintableAsciiScalar,
+};
+
+// ---------------------------------------------------------------------------
+// SSE2. 16-byte blocks; the sub-block tail goes through the scalar
+// reference so nothing is ever read past src + n. All range tests are
+// phrased against *signed* byte compares (the only kind SSE2 has): every
+// range of interest lies in 0x20..0x7e, so bytes >= 0x80 — negative in the
+// signed view — fall out of every range automatically, which is exactly
+// the semantics of the scalar helpers.
+// ---------------------------------------------------------------------------
+#if defined(__SSE2__)
+
+inline __m128i rangeMaskSse2(__m128i v, char lo, char hi) {
+  return _mm_and_si128(_mm_cmpgt_epi8(v, _mm_set1_epi8(lo - 1)),
+                       _mm_cmplt_epi8(v, _mm_set1_epi8(hi + 1)));
+}
+
+void leetPartnerScanSse2(const char* src, std::size_t n, char* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i out = _mm_setzero_si128();
+    for (const LeetRule& r : kLeetRules) {
+      out = _mm_or_si128(
+          out, _mm_and_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8(r.letter)),
+                             _mm_set1_epi8(r.sub)));
+      out = _mm_or_si128(
+          out, _mm_and_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8(r.sub)),
+                             _mm_set1_epi8(r.letter)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), out);
+  }
+  leetPartnerScanScalar(src + i, n - i, dst + i);
+}
+
+void upperScanSse2(const char* src, std::size_t n, unsigned char* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i mask = rangeMaskSse2(v, 'A', 'Z');
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_and_si128(mask, _mm_set1_epi8(1)));
+  }
+  upperScanScalar(src + i, n - i, dst + i);
+}
+
+void segmentClassScanSse2(const char* src, std::size_t n,
+                          unsigned char* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i letter =
+        _mm_or_si128(rangeMaskSse2(v, 'a', 'z'), rangeMaskSse2(v, 'A', 'Z'));
+    const __m128i digit = rangeMaskSse2(v, '0', '9');
+    // Letter -> 0, Digit -> 1, everything else -> 2.
+    const __m128i cls = _mm_or_si128(
+        _mm_and_si128(digit, _mm_set1_epi8(1)),
+        _mm_andnot_si128(_mm_or_si128(letter, digit), _mm_set1_epi8(2)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), cls);
+  }
+  segmentClassScanScalar(src + i, n - i, dst + i);
+}
+
+bool allPrintableAsciiSse2(const char* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    // Invalid bytes: < 0x20 in the signed view (controls AND >= 0x80,
+    // which are negative) or exactly DEL (0x7f).
+    const __m128i invalid =
+        _mm_or_si128(_mm_cmplt_epi8(v, _mm_set1_epi8(0x20)),
+                     _mm_cmpeq_epi8(v, _mm_set1_epi8(0x7f)));
+    if (_mm_movemask_epi8(invalid) != 0) return false;
+  }
+  return allPrintableAsciiScalar(src + i, n - i);
+}
+
+constexpr ByteScanKernels kSse2Kernels = {
+    leetPartnerScanSse2,
+    upperScanSse2,
+    segmentClassScanSse2,
+    allPrintableAsciiSse2,
+};
+
+#endif  // __SSE2__
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64 baseline). Same block structure as SSE2; NEON's unsigned
+// byte compares make the range tests direct.
+// ---------------------------------------------------------------------------
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+inline uint8x16_t rangeMaskNeon(uint8x16_t v, unsigned char lo,
+                                unsigned char hi) {
+  return vandq_u8(vcgeq_u8(v, vdupq_n_u8(lo)), vcleq_u8(v, vdupq_n_u8(hi)));
+}
+
+void leetPartnerScanNeon(const char* src, std::size_t n, char* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const unsigned char*>(src + i));
+    uint8x16_t out = vdupq_n_u8(0);
+    for (const LeetRule& r : kLeetRules) {
+      out = vorrq_u8(
+          out, vandq_u8(
+                   vceqq_u8(v, vdupq_n_u8(static_cast<unsigned char>(
+                                   r.letter))),
+                   vdupq_n_u8(static_cast<unsigned char>(r.sub))));
+      out = vorrq_u8(
+          out,
+          vandq_u8(
+              vceqq_u8(v, vdupq_n_u8(static_cast<unsigned char>(r.sub))),
+              vdupq_n_u8(static_cast<unsigned char>(r.letter))));
+    }
+    vst1q_u8(reinterpret_cast<unsigned char*>(dst + i), out);
+  }
+  leetPartnerScanScalar(src + i, n - i, dst + i);
+}
+
+void upperScanNeon(const char* src, std::size_t n, unsigned char* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const unsigned char*>(src + i));
+    vst1q_u8(dst + i, vandq_u8(rangeMaskNeon(v, 'A', 'Z'), vdupq_n_u8(1)));
+  }
+  upperScanScalar(src + i, n - i, dst + i);
+}
+
+void segmentClassScanNeon(const char* src, std::size_t n,
+                          unsigned char* dst) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const unsigned char*>(src + i));
+    const uint8x16_t letter =
+        vorrq_u8(rangeMaskNeon(v, 'a', 'z'), rangeMaskNeon(v, 'A', 'Z'));
+    const uint8x16_t digit = rangeMaskNeon(v, '0', '9');
+    const uint8x16_t cls =
+        vorrq_u8(vandq_u8(digit, vdupq_n_u8(1)),
+                 vbicq_u8(vdupq_n_u8(2), vorrq_u8(letter, digit)));
+    vst1q_u8(dst + i, cls);
+  }
+  segmentClassScanScalar(src + i, n - i, dst + i);
+}
+
+bool allPrintableAsciiNeon(const char* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v =
+        vld1q_u8(reinterpret_cast<const unsigned char*>(src + i));
+    const uint8x16_t valid = rangeMaskNeon(v, 0x20, 0x7e);
+    if (vminvq_u8(valid) == 0) return false;
+  }
+  return allPrintableAsciiScalar(src + i, n - i);
+}
+
+constexpr ByteScanKernels kNeonKernels = {
+    leetPartnerScanNeon,
+    upperScanNeon,
+    segmentClassScanNeon,
+    allPrintableAsciiNeon,
+};
+
+#endif  // __ARM_NEON
+
+}  // namespace
+
+const ByteScanKernels& byteScanKernelsFor(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar:
+      return kScalarKernels;
+    case SimdLevel::Sse2:
+#if defined(__SSE2__)
+      return kSse2Kernels;
+#else
+      return kScalarKernels;
+#endif
+    case SimdLevel::Neon:
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+      return kNeonKernels;
+#else
+      return kScalarKernels;
+#endif
+  }
+  return kScalarKernels;
+}
+
+const ByteScanKernels& byteScanKernels() {
+  static const ByteScanKernels& kernels =
+      byteScanKernelsFor(activeSimdLevel());
+  return kernels;
+}
+
+}  // namespace fpsm

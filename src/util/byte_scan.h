@@ -1,0 +1,61 @@
+// Vectorized byte-wise scans for the scoring hot path.
+//
+// The fuzzy parser asks three questions about every password byte — "what
+// is its (bidirectional) leet partner?", "is it an upper-case letter?",
+// "which L/D/S class is it?" — plus one about the whole string ("is it
+// printable ASCII?"). All four are pure byte maps over the paper's
+// 95-character alphabet, so the batched scoring path answers them for the
+// whole password at once with SSE2/NEON kernels and the per-character DFS
+// then reads precomputed tables (core/fuzzy_parse.h, ParseScratch).
+//
+// Contract: every kernel is a pure function of the input bytes, defined on
+// ALL 256 byte values (non-ASCII and NUL included — batch inputs are
+// validated *by* these kernels, so they must not assume validity), and
+// every vector implementation produces output identical to the scalar
+// reference byte for byte. The property tests in tests/batch_test.cpp pit
+// each compiled-in vector kernel against the scalar reference on random
+// byte strings under ASan/UBSan; that equivalence is one of the two pillars
+// of the batch path's bit-exactness guarantee (the other is the shared DFS
+// skeleton in the parser).
+//
+// Kernels never read past src + n: vector bodies process 16-byte blocks
+// and hand the tail to the scalar reference, so exact-sized heap buffers
+// are safe (and the ASan property test allocates them that way on purpose).
+#pragma once
+
+#include <cstddef>
+
+#include "util/simd.h"
+
+namespace fpsm {
+
+/// The dispatch surface: one function pointer per kernel.
+struct ByteScanKernels {
+  /// dst[i] = the leet partner of src[i] under the six bidirectional rules
+  /// of Table VI ('a'<->'@', 's'<->'$', 'o'<->'0', 'i'<->'1', 'e'<->'3',
+  /// 't'<->'7'), or '\0' when src[i] is on neither side of a pair.
+  /// Upper-case letters map to '\0': the parser only accepts exact
+  /// round-trip pairs ('@' renders back as 'a', never 'A').
+  void (*leetPartnerScan)(const char* src, std::size_t n, char* dst);
+  /// dst[i] = 1 if src[i] is an ASCII upper-case letter, else 0 (the
+  /// first-letter-capitalization scan of Table V).
+  void (*upperScan)(const char* src, std::size_t n, unsigned char* dst);
+  /// dst[i] = the SegmentClass of src[i] as a byte code: 0 Letter,
+  /// 1 Digit, 2 Symbol (matching segmentClassOf, which sends every
+  /// non-letter non-digit byte — symbols, controls, non-ASCII — to Symbol).
+  void (*segmentClassScan)(const char* src, std::size_t n,
+                           unsigned char* dst);
+  /// True iff every byte is printable ASCII (0x20..0x7e). True for n == 0.
+  bool (*allPrintableAscii)(const char* src, std::size_t n);
+};
+
+/// Kernels for the active SIMD level (util/simd.h). The table is resolved
+/// once and is safe to call from any thread.
+const ByteScanKernels& byteScanKernels();
+
+/// Kernels for a specific level — the differential property tests compare
+/// these against each other. Requesting a level that is not compiled into
+/// this binary (simdLevelAvailable() == false) returns the scalar table.
+const ByteScanKernels& byteScanKernelsFor(SimdLevel level);
+
+}  // namespace fpsm

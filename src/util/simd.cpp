@@ -1,0 +1,75 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fpsm {
+
+const char* simdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar: return "scalar";
+    case SimdLevel::Sse2: return "sse2";
+    case SimdLevel::Neon: return "neon";
+  }
+  return "unknown";
+}
+
+bool simdLevelAvailable(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::Scalar:
+      return true;
+    case SimdLevel::Sse2:
+#if defined(__SSE2__)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::Neon:
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdLevel compiledSimdLevel() {
+#if defined(__SSE2__)
+  return SimdLevel::Sse2;
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+  return SimdLevel::Neon;
+#else
+  return SimdLevel::Scalar;
+#endif
+}
+
+namespace {
+
+SimdLevel decideActiveLevel() {
+  const char* env = std::getenv("FPSM_SIMD");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return SimdLevel::Scalar;
+    if (std::strcmp(env, "sse2") == 0) {
+      return simdLevelAvailable(SimdLevel::Sse2) ? SimdLevel::Sse2
+                                                 : SimdLevel::Scalar;
+    }
+    if (std::strcmp(env, "neon") == 0) {
+      return simdLevelAvailable(SimdLevel::Neon) ? SimdLevel::Neon
+                                                 : SimdLevel::Scalar;
+    }
+    // An unrecognized request degrades to the safe choice rather than
+    // silently picking a vector ISA the operator did not name.
+    return SimdLevel::Scalar;
+  }
+  return compiledSimdLevel();
+}
+
+}  // namespace
+
+SimdLevel activeSimdLevel() {
+  static const SimdLevel level = decideActiveLevel();
+  return level;
+}
+
+}  // namespace fpsm

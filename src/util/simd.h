@@ -1,0 +1,51 @@
+// CPU feature dispatch for the byte-wise scoring kernels (util/byte_scan.h).
+//
+// The serve hot path vectorizes two byte-wise maps — leet normalization and
+// the upper-case (first-letter-capitalization) scan — with portable SSE2
+// and NEON kernels. Both ISAs are part of their platform ABI baselines
+// (SSE2 on x86-64, NEON on aarch64), so "runtime dispatch" here is a
+// one-time policy decision rather than a cpuid probe: the best ISA the
+// build targets is selected at first use and can be overridden per process
+// with the FPSM_SIMD environment variable. The override exists for two
+// consumers:
+//
+//   FPSM_SIMD=scalar   forces the reference scalar kernels everywhere — the
+//                      A/B lever for benchmarks and the escape hatch if a
+//                      vector kernel is ever suspected in production;
+//   FPSM_SIMD=sse2/neon  requests a specific vector ISA explicitly (a
+//                      request the binary cannot honor falls back to
+//                      scalar, never to a different vector ISA).
+//
+// Wider ISAs (AVX2 and friends) are deliberately not compiled: they are not
+// ABI-guaranteed, so adding them means adding a real cpuid/HWCAP probe to
+// this function — keep that in mind before extending SimdLevel.
+//
+// The dispatch decision is cached after the first call; changing FPSM_SIMD
+// later in the process has no effect. Every vector kernel has a scalar
+// reference with identical output for all 256 byte values — the property
+// tests in tests/batch_test.cpp enforce this, which is what makes the
+// batched scoring path bit-identical to the scalar one.
+#pragma once
+
+namespace fpsm {
+
+enum class SimdLevel {
+  Scalar,  ///< portable reference kernels (always available)
+  Sse2,    ///< x86-64 baseline vectors
+  Neon,    ///< aarch64 baseline vectors
+};
+
+/// Human-readable name ("scalar", "sse2", "neon") for logs and bench JSON.
+const char* simdLevelName(SimdLevel level);
+
+/// True if kernels for `level` are compiled into this binary.
+bool simdLevelAvailable(SimdLevel level);
+
+/// Best vector level this build targets (Scalar when none).
+SimdLevel compiledSimdLevel();
+
+/// The level the dispatched kernels actually use: compiledSimdLevel()
+/// unless FPSM_SIMD selects something else. Decided once, then cached.
+SimdLevel activeSimdLevel();
+
+}  // namespace fpsm

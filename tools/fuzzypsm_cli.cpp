@@ -28,11 +28,15 @@
 //       Write a synthetic leak for one of the paper's 11 services.
 //
 //   fuzzypsm serve-bench --grammar GRAMMAR [--threads N] [--duration-ms MS]
-//            [--pool N] [--seed S]
+//            [--pool N] [--seed S] [--batch N] [--json FILE]
 //       Stand up a MeterService and drive mixed traffic: N reader threads
 //       score passwords sampled from the grammar while a writer floods
 //       update() and the background publisher swaps snapshots. Prints
-//       aggregate scores/sec, publishes, and cache hit rate.
+//       aggregate scores/sec, publishes, and cache hit rate. With
+//       --batch N (N >= 1) readers issue scoreBatch() calls of N
+//       passwords instead of single score() calls and the report adds
+//       per-call p50/p95/p99 latency. --json FILE additionally writes the
+//       results machine-readable (same shape as BENCH_serve.json).
 //
 //   fuzzypsm compile --grammar GRAMMAR --out FILE.fpsmb
 //   fuzzypsm compile --base BASE.txt --training TRAIN.txt --out FILE.fpsmb
@@ -58,6 +62,7 @@
 // magic bytes. Every parallel command honors --threads, falling back to
 // the FPSM_THREADS environment variable and then to an automatic choice
 // (util/parallel.h). -o is shorthand for --out.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -84,6 +89,7 @@
 #include "util/error.h"
 #include "util/format.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 using namespace fpsm;
 
@@ -340,11 +346,19 @@ int cmdGenerate(const Args& args) {
   return 0;
 }
 
+/// Nearest-rank percentile over a sorted sample (q in [0, 1]).
+double percentileUs(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * sorted.size());
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
 int cmdServeBench(const Args& args) {
   const unsigned threads = threadsOption(args, 4);
   const auto duration =
       std::chrono::milliseconds(std::stoul(args.option("duration-ms", "2000")));
   const std::size_t poolSize = std::stoul(args.option("pool", "2048"));
+  const std::size_t batchSize = std::stoul(args.option("batch", "0"));
   Rng rng(std::stoull(args.option("seed", "7")));
   if (poolSize == 0) throw InvalidArgument("--pool must be >= 1");
 
@@ -364,14 +378,28 @@ int cmdServeBench(const Args& args) {
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> totalScores{0};
+  // Per-call scoreBatch latencies, one sample vector per reader (merged
+  // after the run; only populated in batch mode).
+  std::vector<std::vector<double>> latencySamples(threads);
   std::vector<std::thread> readers;
   for (unsigned t = 0; t < threads; ++t) {
     readers.emplace_back([&, t] {
       Rng threadRng(1000 + t);
       std::uint64_t local = 0;
+      std::vector<std::string> request(batchSize);
       while (!stop.load(std::memory_order_acquire)) {
-        (void)service.score(pool[threadRng.below(pool.size())]);
-        ++local;
+        if (batchSize == 0) {
+          (void)service.score(pool[threadRng.below(pool.size())]);
+          ++local;
+        } else {
+          for (auto& pw : request) pw = pool[threadRng.below(pool.size())];
+          const auto t0 = std::chrono::steady_clock::now();
+          (void)service.scoreBatch(request);
+          const auto t1 = std::chrono::steady_clock::now();
+          latencySamples[t].push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          local += batchSize;
+        }
       }
       totalScores.fetch_add(local, std::memory_order_relaxed);
     });
@@ -399,6 +427,9 @@ int cmdServeBench(const Args& args) {
   std::printf("readers: %u, writer: 1 (background publisher every %lld ms)\n",
               threads,
               static_cast<long long>(cfg.publishInterval.count()));
+  std::printf("simd: %s, batch size: %zu%s\n",
+              simdLevelName(activeSimdLevel()), batchSize,
+              batchSize == 0 ? " (single-password score())" : "");
   std::printf("scores: %s in %.2f s -> %s scores/sec\n",
               fmtCount(totalScores.load()).c_str(), secs,
               fmtCount(static_cast<std::uint64_t>(
@@ -411,6 +442,49 @@ int cmdServeBench(const Args& args) {
   std::printf("cache: %.1f%% hit rate, %s stale evictions\n",
               100.0 * stats.cache.hitRate(),
               fmtCount(stats.cache.staleEvictions).c_str());
+
+  std::vector<double> latencies;
+  for (auto& samples : latencySamples) {
+    latencies.insert(latencies.end(), samples.begin(), samples.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentileUs(latencies, 0.50);
+  const double p95 = percentileUs(latencies, 0.95);
+  const double p99 = percentileUs(latencies, 0.99);
+  if (batchSize > 0) {
+    std::printf(
+        "scoreBatch latency over %s calls: p50 %.1f us, p95 %.1f us, "
+        "p99 %.1f us\n",
+        fmtCount(latencies.size()).c_str(), p50, p95, p99);
+  }
+
+  if (const std::string jsonPath = args.option("json"); !jsonPath.empty()) {
+    std::ofstream json(jsonPath);
+    if (!json) throw IoError("cannot write " + jsonPath);
+    json << "{\n";
+    json << "  \"bench\": \"serve-bench\",\n";
+    json << "  \"readers\": " << threads << ",\n";
+    json << "  \"batch_size\": " << batchSize << ",\n";
+    json << "  \"duration_ms\": " << duration.count() << ",\n";
+    json << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n";
+    json << "  \"simd\": \"" << simdLevelName(activeSimdLevel()) << "\",\n";
+    json << "  \"scores\": " << totalScores.load() << ",\n";
+    json << "  \"scores_per_sec\": "
+         << (static_cast<double>(totalScores.load()) / secs) << ",\n";
+    json << "  \"publishes\": " << stats.publishes << ",\n";
+    json << "  \"cache_hit_rate\": " << stats.cache.hitRate() << ",\n";
+    if (batchSize > 0) {
+      json << "  \"calls\": " << latencies.size() << ",\n";
+      json << "  \"p50_us\": " << p50 << ",\n";
+      json << "  \"p95_us\": " << p95 << ",\n";
+      json << "  \"p99_us\": " << p99 << "\n";
+    } else {
+      json << "  \"calls\": " << totalScores.load() << "\n";
+    }
+    json << "}\n";
+    std::fprintf(stderr, "wrote %s\n", jsonPath.c_str());
+  }
   return 0;
 }
 
