@@ -8,8 +8,10 @@
 // src/serve: because readers score immutable snapshots pinned by one
 // pointer copy (RCU) and hot passwords hit the generation-keyed LRU cache,
 // reader throughput scales with cores even with an active writer. On a
-// single-core host the table degenerates to ~1x by construction; the
-// per-configuration absolute numbers remain meaningful.
+// single-core host (hardware_concurrency < 2) reader "scaling" degenerates
+// to timing the scheduler, and numbers recorded to BENCH_serve.json would
+// silently poison CI trend tracking — so the bench refuses: it exits 2
+// before measuring and never touches the committed json.
 //
 // Section 2 — latency: one reader issues scoreBatch() calls at batch sizes
 // {1, 64, 512} against the same update-flooded service and records every
@@ -185,6 +187,19 @@ LatencyRun runBatchLatency(const FuzzyPsm& grammar,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Refuse before doing any work: a reader-scaling bench on a single core
+  // times the scheduler, not the serving layer, and its BENCH_serve.json
+  // would poison CI trend tracking (see header comment).
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 2) {
+    std::fprintf(stderr,
+                 "bench_serve_throughput: hardware_concurrency=%u — a reader-"
+                 "scaling bench needs >= 2 hardware threads; refusing to "
+                 "record single-core numbers (BENCH_serve.json untouched)\n",
+                 hw);
+    return 2;
+  }
+
   const auto cfg = bench::defaultConfig(argc, argv);
   auto duration = std::chrono::milliseconds(500);
   if (argc > 2) {
@@ -212,7 +227,6 @@ int main(int argc, char** argv) {
     pool.emplace_back(traffic.sampleOccurrence(poolRng));
   }
 
-  const unsigned hw = std::thread::hardware_concurrency();
   std::printf(
       "duration per configuration: %lld ms, writer active: yes, "
       "simd: %s, hardware threads: %u\n\n",

@@ -9,11 +9,12 @@
 // ./BENCH_train.json for CI trend tracking.
 //
 // Speedup is bounded by physical cores. When the host exposes fewer than
-// two hardware threads (hardware_concurrency 0 or 1) a "speedup" column
-// would be measurement noise dressed up as a result, so the bench refuses
-// to label the run as one: the table prints n/a, the json carries
-// "speedup_valid": false with null speedups, and only the determinism
-// check stands.
+// two hardware threads (hardware_concurrency 0 or 1) every thread-count
+// row times the same serialized work, so any number this bench could emit
+// would be measurement noise dressed up as a result — and once written to
+// BENCH_train.json it would silently poison CI trend tracking. The bench
+// therefore refuses outright: it exits 2 before measuring and never
+// touches the committed json. Run it on a multi-core host.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -113,18 +114,22 @@ int main(int argc, char** argv) {
 
   // hardware_concurrency() is the real parallelism ceiling: 0 means
   // "unknown", 1 means the scheduler has a single core to hand out, and in
-  // either case thread-count rows time the same serialized work.
+  // either case thread-count rows time the same serialized work. Refuse
+  // before measuring — single-core "speedups" written to BENCH_train.json
+  // would poison CI trend tracking (see header comment).
   const unsigned hw = std::thread::hardware_concurrency();
-  const bool speedupMeasurable = hw >= 2;
+  if (hw < 2) {
+    std::fprintf(stderr,
+                 "bench_train_parallel: hardware_concurrency=%u — a speedup "
+                 "bench needs >= 2 hardware threads; refusing to record "
+                 "single-core numbers (BENCH_train.json untouched)\n",
+                 hw);
+    return 2;
+  }
 
   std::printf("sharded training speedup (DESIGN.md §10)\n");
   std::printf("corpus: %zu synthesized entries, hardware_concurrency=%u\n",
               entryCount, hw);
-  if (!speedupMeasurable) {
-    std::printf(
-        "NOTE: fewer than 2 hardware threads visible — timings below are a\n"
-        "determinism check only, NOT a speedup measurement.\n");
-  }
 
   const FuzzyPsm base = makeBase();
   const auto entries = synthesizeCorpus(entryCount);
@@ -156,13 +161,8 @@ int main(int argc, char** argv) {
 
     const double speedup = rows.empty() ? 1.0 : rows.front().ms / ms;
     rows.push_back(Row{threads, ms, speedup});
-    if (speedupMeasurable) {
-      std::printf("%8u %12.1f %8.2fx  %s\n", threads, ms, speedup,
-                  same ? "byte-identical" : "MISMATCH");
-    } else {
-      std::printf("%8u %12.1f %9s  %s\n", threads, ms, "n/a",
-                  same ? "byte-identical" : "MISMATCH");
-    }
+    std::printf("%8u %12.1f %8.2fx  %s\n", threads, ms, speedup,
+                same ? "byte-identical" : "MISMATCH");
   }
 
   std::ofstream json("BENCH_train.json");
@@ -173,18 +173,12 @@ int main(int argc, char** argv) {
   json << "  \"baseline_ms\": " << rows.front().ms << ",\n";
   json << "  \"byte_identical\": " << (byteIdentical ? "true" : "false")
        << ",\n";
-  json << "  \"speedup_valid\": " << (speedupMeasurable ? "true" : "false")
-       << ",\n";
+  json << "  \"speedup_valid\": true,\n";
   json << "  \"runs\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     json << "    {\"threads\": " << rows[i].threads
-         << ", \"ms\": " << rows[i].ms << ", \"speedup\": ";
-    if (speedupMeasurable) {
-      json << rows[i].speedup;
-    } else {
-      json << "null";
-    }
-    json << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+         << ", \"ms\": " << rows[i].ms << ", \"speedup\": " << rows[i].speedup
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   json << "  ]\n";
   json << "}\n";

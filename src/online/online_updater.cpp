@@ -1,0 +1,233 @@
+#include "online/online_updater.h"
+
+#include <sstream>
+#include <utility>
+
+#include "analysis/grammar_lint.h"
+#include "artifact/artifact.h"
+#include "util/chars.h"
+#include "util/error.h"
+#include "util/hash.h"
+
+namespace fpsm {
+
+namespace {
+
+MeterServiceConfig servingConfig(const OnlineUpdaterConfig& config) {
+  MeterServiceConfig sc = config.serviceConfig;
+  // The updater owns the publish cadence: every served generation must be
+  // a log-backed artifact, so MeterService's own fold-and-publish thread
+  // stays off (it would publish grammars the log has never seen).
+  sc.backgroundPublisher = false;
+  return sc;
+}
+
+}  // namespace
+
+std::unique_ptr<OnlineUpdater> OnlineUpdater::bootstrap(
+    const FuzzyPsm& trained, const std::string& directory,
+    OnlineUpdaterConfig config) {
+  if (!trained.trained()) {
+    throw NotTrained("OnlineUpdater: grammar must be trained to bootstrap");
+  }
+  GenerationLog log(directory);
+  if (log.latest() != nullptr) {
+    throw InvalidArgument(
+        "OnlineUpdater: log at " + directory +
+        " already has generations; use resume()");
+  }
+  const std::vector<std::byte> bytes = compileArtifact(trained);
+  const std::uint64_t seq = log.append(bytes.data(), bytes.size());
+  auto artifact = GrammarArtifact::open(log.pathFor(seq));
+  auto service =
+      std::make_unique<MeterService>(std::move(artifact),
+                                     servingConfig(config));
+  return std::unique_ptr<OnlineUpdater>(
+      new OnlineUpdater(std::move(log), trained, std::move(service), seq,
+                        std::move(config)));
+}
+
+std::unique_ptr<OnlineUpdater> OnlineUpdater::resume(
+    const std::string& directory, OnlineUpdaterConfig config,
+    RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport& rep = report ? *report : local;
+  GenerationLog log(directory, &rep);
+
+  // Newest-first: the freshest generation that clears every gate serves.
+  // A generation that fails here was checksummed-good on disk but is
+  // unservable (malformed bytes or lint-rejected semantics) — report it
+  // and keep walking, exactly like tail recovery one level down.
+  const auto& entries = log.entries();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    std::shared_ptr<const GrammarArtifact> artifact;
+    try {
+      artifact = GrammarArtifact::open(log.pathFor(it->sequence));
+    } catch (const Error& e) {
+      rep.add(RecoverySkipReason::UnreadableArtifact, it->sequence, e.what());
+      continue;
+    }
+    if (config.lintGate) {
+      LintReport lint =
+          GrammarValidator(config.lintOptions).lint(artifact->grammar());
+      if (!lint.ok()) {
+        rep.add(RecoverySkipReason::LintRejected, it->sequence,
+                lint.render());
+        continue;
+      }
+    }
+    if (config.publishGate) {
+      try {
+        config.publishGate(artifact->grammar());
+      } catch (const Error& e) {
+        rep.add(RecoverySkipReason::LintRejected, it->sequence, e.what());
+        continue;
+      }
+    }
+    const std::uint64_t seq = it->sequence;
+    FuzzyPsm base = FuzzyPsm::fromArtifact(*artifact);
+    auto service =
+        std::make_unique<MeterService>(std::move(artifact),
+                                       servingConfig(config));
+    return std::unique_ptr<OnlineUpdater>(
+        new OnlineUpdater(std::move(log), std::move(base),
+                          std::move(service), seq, std::move(config)));
+  }
+  throw GenerationLogError(
+      GenerationLogErrorCode::NoSuchSequence,
+      "OnlineUpdater: no servable generation in " + directory);
+}
+
+OnlineUpdater::OnlineUpdater(GenerationLog log, FuzzyPsm base,
+                             std::unique_ptr<MeterService> service,
+                             std::uint64_t servedSequence,
+                             OnlineUpdaterConfig config)
+    : config_(std::move(config)),
+      log_(std::move(log)),
+      base_(std::move(base)),
+      service_(std::move(service)),
+      shards_(config_.deltaShards == 0 ? 1 : config_.deltaShards) {
+  lastSequence_.store(servedSequence, std::memory_order_relaxed);
+  if (config_.backgroundCompactor) {
+    compactor_ = std::thread([this] { compactorLoop(); });
+  }
+}
+
+OnlineUpdater::~OnlineUpdater() {
+  stopping_.store(true, std::memory_order_release);
+  wakeCv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+}
+
+void OnlineUpdater::accept(std::string_view pw, std::uint64_t n) {
+  if (n == 0) return;
+  validatePassword(pw);
+  shards_[StringHash{}(pw) % shards_.size()].push(pw, n);
+  accepted_.fetch_add(n, std::memory_order_relaxed);
+  const std::uint64_t pending =
+      pendingApprox_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (config_.backgroundCompactor && pending >= config_.maxPendingUpdates) {
+    wakeCv_.notify_one();
+  }
+}
+
+OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
+  const std::lock_guard<std::mutex> lock(compactionMutex_);
+  CompactionResult res;
+
+  // Drain every shard into one batch. Batch order is unspecified (hash-map
+  // iteration), which is fine: counting is order-independent and the
+  // artifact writer serializes canonically, so the emitted bytes do not
+  // depend on it.
+  std::vector<Dataset::Entry> entries;
+  for (auto& shard : shards_) {
+    for (auto& [pw, n] : shard.drain()) {
+      res.folded += n;
+      entries.push_back(Dataset::Entry{std::move(pw), n});
+    }
+  }
+  if (entries.empty()) return res;
+  pendingApprox_.fetch_sub(res.folded, std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+
+  // Parse the batch into a delta and merge it into a COPY of the
+  // cumulative counts. base_ itself is only advanced after the gates pass,
+  // so a rollback needs no undo.
+  TrainOptions topts;
+  topts.threads = config_.compactionThreads;
+  const GrammarCounts delta =
+      ShardedTrainer(base_, topts).countEntries(entries);
+  GrammarCounts merged = base_.counts();
+  merged.merge(delta);
+
+  std::ostringstream artifactBytes(std::ios::binary);
+  writeArtifact(artifactBytes, base_.config(), base_.baseWords(),
+                base_.baseDictionary(), base_.reversedDictionary(), merged);
+  const std::string bytes = artifactBytes.str();
+  res.sequence = log_.append(bytes.data(), bytes.size());
+
+  try {
+    // Gate 1: byte-level validation, through the same loader a restart
+    // would use — if this process cannot reopen what it just wrote, no
+    // future process can either.
+    auto artifact = GrammarArtifact::open(log_.pathFor(res.sequence));
+    // Gate 2: semantic lint, then the caller's extra acceptance policy.
+    if (config_.lintGate) {
+      LintReport lint =
+          GrammarValidator(config_.lintOptions).lint(artifact->grammar());
+      if (!lint.ok()) throw GrammarLintError(std::move(lint));
+    }
+    if (config_.publishGate) config_.publishGate(artifact->grammar());
+    // Gate 3: the RCU flip (MeterService re-lints under its own config;
+    // readers never observe a grammar that failed either gate).
+    res.generation = service_->publishFromArtifact(std::move(artifact));
+    res.published = true;
+    base_.absorbCounts(delta);
+    published_.fetch_add(1, std::memory_order_relaxed);
+    lastSequence_.store(res.sequence, std::memory_order_relaxed);
+  } catch (const Error& e) {
+    // Rollback: cumulative counts untouched, previous snapshot keeps
+    // serving, the bad generation stays quarantined in the log. The
+    // drained occurrences are dropped, not re-queued — a batch that
+    // deterministically produces a rejected grammar would wedge the loop.
+    rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    quarantined_.fetch_add(res.folded, std::memory_order_relaxed);
+    res.rejection = e.what();
+  }
+  return res;
+}
+
+void OnlineUpdater::compactorLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(wakeMutex_);
+      wakeCv_.wait_for(lock, config_.compactionInterval, [this] {
+        return stopping_.load(std::memory_order_acquire) ||
+               pendingApprox_.load(std::memory_order_relaxed) >=
+                   config_.maxPendingUpdates;
+      });
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (pendingApprox_.load(std::memory_order_relaxed) == 0) continue;
+    compactNow();
+  }
+}
+
+std::uint64_t OnlineUpdater::pendingUpdates() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard.pendingTotal();
+  return total;
+}
+
+OnlineUpdater::Stats OnlineUpdater::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.published = published_.load(std::memory_order_relaxed);
+  s.rollbacks = rollbacks_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  s.lastSequence = lastSequence_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace fpsm

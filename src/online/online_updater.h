@@ -1,0 +1,218 @@
+// OnlineUpdater — the streaming adaptive-update loop (DESIGN.md §12).
+//
+// MeterService already implements the paper's update phase in-process:
+// accepted passwords fold into the served grammar at the next publish.
+// What it does not give is *durability* or *auditability* — kill the
+// process and every fold since the last batch retrain is gone, and no
+// record exists of which grammar was serving when. OnlineUpdater closes
+// that gap by driving MeterService through a GenerationLog:
+//
+//   accept()     validates the password and appends it to one of
+//                deltaShards UpdateQueues, picked by password hash. The
+//                serve path never blocks on compaction: shard queues are
+//                independent mutexes, and concurrent readers score the
+//                current RCU snapshot untouched.
+//   compactNow() drains every shard, parses the combined batch into a
+//                GrammarCounts delta with ShardedTrainer (same parallel
+//                pipeline as batch training), merges the delta into a COPY
+//                of the cumulative counts, serializes the merged grammar
+//                with the canonical artifact writer, appends it to the
+//                GenerationLog, and only then gates + publishes:
+//
+//                   gate 1  GrammarArtifact::open — byte-level validation
+//                   gate 2  GrammarValidator lint — semantic validation
+//                   gate 3  MeterService::publishFromArtifact — RCU flip
+//
+//                Any gate failure rolls back: the cumulative counts were
+//                never touched (the merge happened on a copy), the bad
+//                generation stays quarantined in the log (never served,
+//                sequence retired), and readers keep scoring the previous
+//                snapshot with no serving gap. The drained occurrences are
+//                counted as quarantined rather than re-queued — replaying
+//                a batch that deterministically produces a rejected
+//                grammar would wedge the loop.
+//
+// Determinism (the online-vs-batch contract, tests/online_test.cpp): a
+// parse is a pure function of (password, base dictionary, config), and
+// GrammarCounts::merge is commutative and associative, so
+//
+//   counts(C) + counts(S_1) + ... + counts(S_k) = counts(C + S)
+//
+// for any split of stream S into compaction batches S_i. With the
+// canonical artifact writer, the final generation of an online run over C
+// then S is byte-identical to a one-shot batch retrain over C + S, at any
+// thread count and any compaction cadence.
+//
+// Restart durability: resume() walks the log from the newest generation
+// backwards, serving the first one that passes all gates, and rebuilds
+// the cumulative counts from it. Updates accepted after the served
+// generation's compaction are lost on crash — the queue is volatile by
+// design (bounded loss, same trade MeterService documents); the log bounds
+// the loss to one compaction interval.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/fuzzy_psm.h"
+#include "online/generation_log.h"
+#include "serve/meter_service.h"
+#include "serve/update_queue.h"
+#include "train/sharded_trainer.h"
+
+namespace fpsm {
+
+struct OnlineUpdaterConfig {
+  /// Accept-path sharding: accepted passwords hash-partition over this
+  /// many independent UpdateQueues so concurrent accept() calls rarely
+  /// contend on one mutex. Must be >= 1.
+  std::size_t deltaShards = 16;
+  /// Threads for the compaction parse (ShardedTrainer); 0 = auto.
+  unsigned compactionThreads = 0;
+  /// Background compactor pacing: a compaction is attempted at most this
+  /// often under light traffic.
+  std::chrono::milliseconds compactionInterval{1000};
+  /// Backlog bound: the background compactor wakes early once this many
+  /// pending occurrences have accumulated across all shards.
+  std::uint64_t maxPendingUpdates = std::uint64_t{1} << 16;
+  /// Run compaction on a background thread. Off (the default) is
+  /// deterministic mode: generations advance only on explicit
+  /// compactNow() — tests, the CLI update loop, benchmarks.
+  bool backgroundCompactor = false;
+  /// Lint every compacted generation before it is published (gate 2).
+  /// Off skips only the updater's semantic gate; byte validation (gate 1)
+  /// always runs.
+  bool lintGate = true;
+  /// Options for the lint gate.
+  LintOptions lintOptions{};
+  /// Optional extra acceptance gate, run after the lint gate on every
+  /// candidate generation — at compaction AND at resume(), so a grammar
+  /// this policy rejects is never served from either path. Throw (any
+  /// Error subclass; GrammarLintError carries a report) to reject the
+  /// candidate: compaction rolls it back, resume skips it. Deployment
+  /// hooks (canary scoring, external policy) and the test suite's
+  /// deterministic rejection injection both plug in here.
+  std::function<void(const FlatGrammarView&)> publishGate;
+  /// Serving configuration. backgroundPublisher is forced off: the
+  /// updater owns the publish cadence (every publish is a log-backed
+  /// generation), so an independent in-process publisher would fork the
+  /// served grammar away from the durable log.
+  MeterServiceConfig serviceConfig{};
+};
+
+class OnlineUpdater {
+ public:
+  /// Outcome of one compaction cycle.
+  struct CompactionResult {
+    std::uint64_t sequence = 0;    ///< log sequence written (0 = no-op)
+    std::uint64_t generation = 0;  ///< MeterService generation published
+    std::uint64_t folded = 0;      ///< occurrences drained into the batch
+    bool published = false;        ///< false: empty batch, or rolled back
+    std::string rejection;         ///< gate failure message when rolled back
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;     ///< occurrences accepted via accept()
+    std::uint64_t compactions = 0;  ///< compactNow() cycles that drained work
+    std::uint64_t published = 0;    ///< generations that passed all gates
+    std::uint64_t rollbacks = 0;    ///< generations rejected by a gate
+    std::uint64_t quarantined = 0;  ///< occurrences lost to rollbacks
+    std::uint64_t lastSequence = 0; ///< newest published log sequence
+  };
+
+  /// Starts a fresh log at `directory` from a trained grammar: compiles it
+  /// as generation 1 and serves it artifact-backed. Throws InvalidArgument
+  /// if the log already has generations (use resume()) and NotTrained on
+  /// an untrained grammar.
+  static std::unique_ptr<OnlineUpdater> bootstrap(
+      const FuzzyPsm& trained, const std::string& directory,
+      OnlineUpdaterConfig config = {});
+
+  /// Reopens an existing log after a crash or restart. Walks generations
+  /// newest-first and serves the first one that opens and passes the lint
+  /// gate; generations that fail are reported (RecoverySkip) and skipped.
+  /// Throws GenerationLogError(NoSuchSequence) when no generation is
+  /// servable.
+  static std::unique_ptr<OnlineUpdater> resume(
+      const std::string& directory, OnlineUpdaterConfig config = {},
+      RecoveryReport* report = nullptr);
+
+  /// Stops the background compactor. Pending accepted passwords that were
+  /// never compacted are discarded (call compactNow() first to flush).
+  ~OnlineUpdater();
+
+  OnlineUpdater(const OnlineUpdater&) = delete;
+  OnlineUpdater& operator=(const OnlineUpdater&) = delete;
+
+  /// The serve path's update hook: validates and enqueues n occurrences of
+  /// an accepted password. Never blocks on compaction; throws
+  /// InvalidArgument on malformed passwords.
+  void accept(std::string_view pw, std::uint64_t n = 1);
+
+  /// Runs one compaction cycle synchronously (see class comment). Returns
+  /// what happened; never throws on gate failure — a rejected generation
+  /// is a reported rollback, not an exception, because the loop must keep
+  /// serving. Filesystem failures (GenerationLogError) do propagate.
+  CompactionResult compactNow();
+
+  /// Scoring surface: the underlying service. Scores always come from the
+  /// newest published (log-backed) generation.
+  const MeterService& service() const { return *service_; }
+  MeterService& service() { return *service_; }
+
+  /// The artifact log backing this updater.
+  const GenerationLog& log() const { return log_; }
+
+  /// Occurrences accepted but not yet compacted (approximate under
+  /// concurrent accept()).
+  std::uint64_t pendingUpdates() const;
+
+  Stats stats() const;
+
+ private:
+  OnlineUpdater(GenerationLog log, FuzzyPsm base,
+                std::unique_ptr<MeterService> service,
+                std::uint64_t servedSequence, OnlineUpdaterConfig config);
+
+  void compactorLoop();
+
+  OnlineUpdaterConfig config_;
+  GenerationLog log_;
+
+  // Cumulative state: base_ holds the dictionary plus all counts that have
+  // ever been published. Touched only under compactionMutex_.
+  mutable std::mutex compactionMutex_;
+  FuzzyPsm base_;
+
+  std::unique_ptr<MeterService> service_;
+
+  // Accept path. Sized at construction, never resized (UpdateQueue is
+  // immovable).
+  std::vector<UpdateQueue> shards_;
+
+  // Background compactor.
+  std::atomic<bool> stopping_{false};
+  std::mutex wakeMutex_;
+  std::condition_variable wakeCv_;
+  std::thread compactor_;
+
+  // Counters (relaxed; monitoring only).
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> pendingApprox_{0};
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> rollbacks_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> lastSequence_{0};
+};
+
+}  // namespace fpsm

@@ -26,7 +26,7 @@ std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::freeze(
 
 std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::fromArtifact(
     std::shared_ptr<const GrammarArtifact> artifact,
-    std::uint64_t generation, bool lint) {
+    std::uint64_t generation, bool lint, const LintOptions& lintOptions) {
   if (!artifact) {
     throw InvalidArgument("GrammarSnapshot::fromArtifact: null artifact");
   }
@@ -35,7 +35,7 @@ std::shared_ptr<const GrammarSnapshot> GrammarSnapshot::fromArtifact(
     // bounds-validated, but semantic defects (dangling B_n references,
     // counter drift) pass the loader and would poison every reader of this
     // snapshot. Fail closed before the grammar becomes reachable.
-    LintReport report = GrammarValidator().lint(artifact->grammar());
+    LintReport report = GrammarValidator(lintOptions).lint(artifact->grammar());
     if (!report.ok()) throw GrammarLintError(std::move(report));
   }
   return std::shared_ptr<const GrammarSnapshot>(

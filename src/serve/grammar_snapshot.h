@@ -30,6 +30,7 @@
 #include <string_view>
 #include <utility>
 
+#include "analysis/grammar_lint.h"
 #include "artifact/artifact.h"
 #include "core/fuzzy_psm.h"
 
@@ -51,10 +52,13 @@ class GrammarSnapshot {
   /// well-formed, not that its semantics are scoreable (see
   /// analysis/grammar_lint.h). Throws GrammarLintError — carrying the full
   /// report — on any Error-severity diagnostic. `lint = false` is the
-  /// tooling override for inspecting known-bad grammars.
+  /// tooling override for inspecting known-bad grammars. `lintOptions`
+  /// configures the gate (tolerances, spot-check stride) so publishers —
+  /// MeterService, the online updater — audit with one policy end to end.
   static std::shared_ptr<const GrammarSnapshot> fromArtifact(
       std::shared_ptr<const GrammarArtifact> artifact,
-      std::uint64_t generation, bool lint = true);
+      std::uint64_t generation, bool lint = true,
+      const LintOptions& lintOptions = {});
 
   /// Monotonic publish counter: 0 for the initial snapshot, +1 per publish.
   std::uint64_t generation() const { return generation_; }

@@ -37,8 +37,8 @@ MeterService::MeterService(std::shared_ptr<const GrammarArtifact> artifact,
     throw NotTrained("MeterService: artifact grammar must be trained");
   }
   coldArtifact_ = std::move(artifact);
-  current_.store(
-      GrammarSnapshot::fromArtifact(coldArtifact_, 0, config_.lintArtifacts));
+  current_.store(GrammarSnapshot::fromArtifact(
+      coldArtifact_, 0, config_.lintArtifacts, config_.lintOptions));
   if (config_.backgroundPublisher) {
     publisher_ = std::thread([this] { publisherLoop(); });
   }
@@ -178,8 +178,8 @@ std::uint64_t MeterService::publishFromArtifact(
   // Build (and lint) the snapshot before touching any service state: a
   // GrammarLintError here must leave the previous grammar serving.
   const std::uint64_t gen = nextGeneration_;
-  auto snapshot =
-      GrammarSnapshot::fromArtifact(artifact, gen, config_.lintArtifacts);
+  auto snapshot = GrammarSnapshot::fromArtifact(
+      artifact, gen, config_.lintArtifacts, config_.lintOptions);
   ++nextGeneration_;
   coldArtifact_ = std::move(artifact);
   master_ = FuzzyPsm();  // release the superseded grammar's memory

@@ -69,6 +69,9 @@ struct MeterServiceConfig {
   /// before any reader can observe it. Off is a tooling override for
   /// serving known-bad grammars (e.g. reproducing a production incident).
   bool lintArtifacts = true;
+  /// Options for the lint gate above (mass tolerance, spot-check stride).
+  /// Ignored when lintArtifacts is off.
+  LintOptions lintOptions{};
 };
 
 class MeterService {

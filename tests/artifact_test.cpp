@@ -20,6 +20,7 @@
 
 #include "artifact/artifact.h"
 #include "artifact/checksum.h"
+#include "artifact_tamper.h"
 #include "core/fuzzy_psm.h"
 #include "serve/meter_service.h"
 #include "trie/flat_trie.h"
@@ -103,69 +104,17 @@ FuzzyPsm randomGrammar(Rng& rng) {
 }
 
 // ----------------------------------------------------------- tamper utilities
+// Shared with the generation-log crash-recovery battery; see
+// tests/artifact_tamper.h for readU64/writeU32/writeU64/kPrelude/
+// repairChecksums/expectRejected/expectRejectedAs.
 
-std::uint64_t readU64(const Bytes& b, std::size_t off) {
-  std::uint64_t v;
-  std::memcpy(&v, b.data() + off, 8);
-  return v;
-}
-
-void writeU32(Bytes& b, std::size_t off, std::uint32_t v) {
-  std::memcpy(b.data() + off, &v, 4);
-}
-
-void writeU64(Bytes& b, std::size_t off, std::uint64_t v) {
-  std::memcpy(b.data() + off, &v, 8);
-}
-
-constexpr std::size_t kPrelude =
-    kArtifactHeaderBytes + kArtifactSectionCount * kArtifactSectionEntryBytes;
-
-/// Recomputes every section checksum (from the current, possibly tampered
-/// geometry) and the header checksum, so a targeted tamper reaches the
-/// deep structural validation instead of dying at the checksum gate.
-void repairChecksums(Bytes& b) {
-  ASSERT_GE(b.size(), kPrelude);
-  for (std::uint32_t i = 0; i < kArtifactSectionCount; ++i) {
-    const std::size_t entry =
-        kArtifactHeaderBytes + i * kArtifactSectionEntryBytes;
-    const std::uint64_t offset = readU64(b, entry + 8);
-    const std::uint64_t bytes = readU64(b, entry + 16);
-    ASSERT_LE(offset + bytes, b.size());
-    writeU64(b, entry + 24, xxhash64(b.data() + offset, bytes));
-  }
-  writeU64(b, 32, 0);
-  writeU64(b, 32, xxhash64(b.data(), kPrelude));
-}
-
-/// The corruption-battery oracle: loading must throw ArtifactError —
-/// anything else (success, a different exception, a crash) is a failure.
-void expectRejected(Bytes bytes, const char* context) {
-  try {
-    (void)GrammarArtifact::fromBytes(std::move(bytes));
-    ADD_FAILURE() << context << ": corrupted artifact loaded cleanly";
-  } catch (const ArtifactError&) {
-    // typed rejection: exactly the contract
-  } catch (const std::exception& e) {
-    ADD_FAILURE() << context << ": wrong exception type: " << e.what();
-  }
-}
-
-/// Typed variant: additionally pins the error code.
-void expectRejectedAs(Bytes bytes, ArtifactErrorCode code,
-                      const char* context) {
-  try {
-    (void)GrammarArtifact::fromBytes(std::move(bytes));
-    ADD_FAILURE() << context << ": corrupted artifact loaded cleanly";
-  } catch (const ArtifactError& e) {
-    EXPECT_EQ(static_cast<int>(e.code()), static_cast<int>(code))
-        << context << ": rejected as [" << artifactErrorCodeName(e.code())
-        << "], expected [" << artifactErrorCodeName(code) << "]: "
-        << e.what();
-  } catch (const std::exception& e) {
-    ADD_FAILURE() << context << ": wrong exception type: " << e.what();
-  }
-}
+using test_tamper::expectRejected;
+using test_tamper::expectRejectedAs;
+using test_tamper::kPrelude;
+using test_tamper::readU64;
+using test_tamper::repairChecksums;
+using test_tamper::writeU32;
+using test_tamper::writeU64;
 
 // ----------------------------------------------------------------- happy path
 

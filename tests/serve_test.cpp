@@ -178,6 +178,108 @@ TEST(UpdateQueueTest, ConcurrentPushesLoseNothing) {
   EXPECT_EQ(drained, static_cast<std::uint64_t>(kThreads) * kPushes * 2);
 }
 
+// Adversarial streams: duplicates that straddle drain boundaries must not
+// re-coalesce across batches, and each batch must carry exactly the
+// occurrences pushed since the previous drain.
+TEST(UpdateQueueTest, DuplicatesAcrossDrainBoundariesStayInTheirBatch) {
+  UpdateQueue q;
+  q.push("dup", 3);
+  q.push("only-first", 1);
+  const auto first = q.drain();
+  q.push("dup", 5);  // same password, next epoch
+  q.push("only-second", 2);
+  const auto second = q.drain();
+
+  auto countOf = [](const UpdateQueue::Batch& batch, std::string_view pw) {
+    std::uint64_t n = 0;
+    for (const auto& [p, c] : batch) {
+      if (p == pw) n += c;
+    }
+    return n;
+  };
+  EXPECT_EQ(countOf(first, "dup"), 3u);
+  EXPECT_EQ(countOf(second, "dup"), 5u);
+  EXPECT_EQ(countOf(first, "only-second"), 0u);
+  EXPECT_EQ(countOf(second, "only-first"), 0u);
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(second.size(), 2u);
+}
+
+// The queue is a transport, not a validator: zero counts vanish, but
+// otherwise entries pass through verbatim — empty strings and oversized
+// passwords included. Validation lives upstream (MeterService::update /
+// OnlineUpdater::accept), so the queue must not corrupt or drop what a
+// buggy caller feeds it.
+TEST(UpdateQueueTest, CarriesEmptyAndOversizedEntriesVerbatim) {
+  UpdateQueue q;
+  const std::string oversized(64 * 1024, 'x');
+  q.push("", 2);
+  q.push(oversized, 1);
+  q.push("", 0);  // zero-count still ignored, even for odd keys
+  EXPECT_EQ(q.pendingDistinct(), 2u);
+  EXPECT_EQ(q.pendingTotal(), 3u);
+  const auto batch = q.drain();
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& [pw, n] : batch) {
+    if (pw.empty()) {
+      EXPECT_EQ(n, 2u);
+    } else {
+      EXPECT_EQ(pw.size(), oversized.size());
+      EXPECT_EQ(pw, oversized);
+      EXPECT_EQ(n, 1u);
+    }
+  }
+}
+
+// Conservation under interleaved drains: concurrent pushers and drainers
+// racing on one queue must neither lose nor duplicate a single occurrence
+// — every push lands in exactly one drained batch. (TSan target.)
+TEST(UpdateQueueTest, InterleavedConcurrentDrainsConserveOccurrences) {
+  UpdateQueue q;
+  constexpr int kPushers = 3;
+  constexpr int kDrainers = 2;
+  constexpr int kPushes = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> drainedTotal{0};
+
+  std::vector<std::thread> drainers;
+  for (int d = 0; d < kDrainers; ++d) {
+    drainers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        for (const auto& [pw, n] : q.drain()) {
+          (void)pw;
+          drainedTotal.fetch_add(n, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> pushers;
+  for (int t = 0; t < kPushers; ++t) {
+    pushers.emplace_back([&q, t] {
+      for (int i = 0; i < kPushes; ++i) {
+        q.push("pw" + std::to_string((t * kPushes + i) % 11),
+               1 + static_cast<std::uint64_t>(i % 3));
+      }
+    });
+  }
+  for (auto& t : pushers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : drainers) t.join();
+  // Final sweep: whatever raced past the drainers' last pass.
+  for (const auto& [pw, n] : q.drain()) {
+    (void)pw;
+    drainedTotal.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Each pusher contributed sum over i of (1 + i%3) occurrences.
+  std::uint64_t expected = 0;
+  for (int i = 0; i < kPushes; ++i) expected += 1 + i % 3;
+  expected *= kPushers;
+  EXPECT_EQ(drainedTotal.load(), expected);
+  EXPECT_EQ(q.pendingTotal(), 0u);
+  EXPECT_EQ(q.pendingDistinct(), 0u);
+}
+
 // -------------------------------------------------------- GrammarSnapshot
 
 TEST(GrammarSnapshotTest, FrozenCopyIsImmutableUnderUpdates) {

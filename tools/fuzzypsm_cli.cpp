@@ -57,6 +57,27 @@
 //       format and a compiled .fpsmb (audited zero-copy). Exit code is the
 //       worst severity found: 0 clean/info, 1 warnings, 2 errors.
 //
+//   fuzzypsm update-loop --log DIR --stream FILE
+//            (--grammar GRAMMAR | --base BASE.txt --training TRAIN.txt)
+//            [--compact-every N] [--threads N] [--no-lint]
+//       Drive the streaming adaptive loop (src/online): bootstrap a
+//       generation log at DIR from the given grammar (or resume if DIR
+//       already has generations — then the grammar/corpus options are
+//       ignored), accept every password of the update stream, and compact
+//       a new .fpsmb generation every N accepted occurrences (default
+//       10000) plus once at end-of-stream. Each generation is appended to
+//       the log, lint-gated, and published without blocking scorers;
+//       rejected generations roll back and are reported. Prints the final
+//       published sequence. The run is deterministic: the same inputs and
+//       cadence produce byte-identical generations at any --threads.
+//
+//   fuzzypsm log inspect --dir DIR [--verify]
+//       Print a generation log's manifest — sequence, file, size, checksum
+//       per committed generation — plus anything recovery had to skip
+//       (torn tail line, quarantined generations). --verify re-checksums
+//       every generation file from scratch. Exit code 1 if recovery
+//       skipped anything or verification found damage, else 0.
+//
 // Every command taking --grammar accepts both the text format and a
 // compiled .fpsmb artifact; the file type is sniffed from the leading
 // magic bytes. Every parallel command honors --threads, falling back to
@@ -84,6 +105,8 @@
 #include "corpus/io.h"
 #include "model/buckets.h"
 #include "model/montecarlo.h"
+#include "online/generation_log.h"
+#include "online/online_updater.h"
 #include "synth/generator.h"
 #include "train/sharded_trainer.h"
 #include "util/error.h"
@@ -582,11 +605,143 @@ int cmdLintGrammar(const Args& args) {
   return static_cast<int>(report.worst());
 }
 
+int cmdUpdateLoop(const Args& args) {
+  const std::string dir = args.requiredOption("log");
+  const std::string streamPath = args.requiredOption("stream");
+  std::uint64_t compactEvery = 10000;
+  if (const auto n = args.option("compact-every"); !n.empty()) {
+    compactEvery = std::stoull(n);
+    if (compactEvery == 0) throw InvalidArgument("--compact-every must be >= 1");
+  }
+
+  OnlineUpdaterConfig config;
+  config.compactionThreads = threadsOption(args);
+  config.lintGate = !args.flag("no-lint");
+
+  // Bootstrap on an empty/absent log, resume otherwise. Peek with a
+  // throwaway GenerationLog: opening is recovery, so a fresh directory is
+  // created (and a damaged one reported) before we commit to a mode.
+  RecoveryReport peek;
+  const bool fresh = GenerationLog(dir, &peek).latest() == nullptr;
+  if (!peek.clean()) std::fprintf(stderr, "%s", peek.render().c_str());
+
+  std::unique_ptr<OnlineUpdater> updater;
+  if (fresh) {
+    FuzzyPsm seed = [&] {
+      if (const auto g = args.option("grammar"); !g.empty()) {
+        return loadGrammarFile(g);
+      }
+      FuzzyPsm psm(configFromArgs(args));
+      psm.loadBaseDictionary(loadFile(args.requiredOption("base"), "base"));
+      psm.absorbCounts(trainCounts(psm, args.requiredOption("training"),
+                                   config.compactionThreads));
+      return psm;
+    }();
+    updater = OnlineUpdater::bootstrap(seed, dir, std::move(config));
+    std::fprintf(stderr, "bootstrapped %s at sequence %llu\n", dir.c_str(),
+                 static_cast<unsigned long long>(updater->stats().lastSequence));
+  } else {
+    RecoveryReport report;
+    updater = OnlineUpdater::resume(dir, std::move(config), &report);
+    if (!report.clean()) std::fprintf(stderr, "%s", report.render().c_str());
+    std::fprintf(stderr, "resumed %s at sequence %llu\n", dir.c_str(),
+                 static_cast<unsigned long long>(updater->stats().lastSequence));
+  }
+
+  const auto reportCompaction = [](const OnlineUpdater::CompactionResult& r) {
+    if (r.folded == 0) return;
+    if (r.published) {
+      std::fprintf(stderr,
+                   "compacted %llu occurrences -> sequence %llu "
+                   "(generation %llu)\n",
+                   static_cast<unsigned long long>(r.folded),
+                   static_cast<unsigned long long>(r.sequence),
+                   static_cast<unsigned long long>(r.generation));
+    } else {
+      std::fprintf(stderr,
+                   "sequence %llu REJECTED (%llu occurrences quarantined): "
+                   "%s\n",
+                   static_cast<unsigned long long>(r.sequence),
+                   static_cast<unsigned long long>(r.folded),
+                   r.rejection.c_str());
+    }
+  };
+
+  // Drive the stream: accept each occurrence, compact on cadence. The
+  // cadence counts occurrences (not lines) so weighted corpora pace the
+  // same as exploded ones.
+  DatasetReader reader(streamPath);
+  std::uint64_t sinceCompaction = 0;
+  std::vector<Dataset::Entry> chunk;
+  while (reader.nextChunk(chunk, 1024)) {
+    for (const Dataset::Entry& entry : chunk) {
+      updater->accept(entry.password, entry.count);
+      sinceCompaction += entry.count;
+      if (sinceCompaction >= compactEvery) {
+        reportCompaction(updater->compactNow());
+        sinceCompaction = 0;
+      }
+    }
+  }
+  reportCompaction(updater->compactNow());  // end-of-stream flush
+
+  const OnlineUpdater::Stats stats = updater->stats();
+  const LoadStats& rs = reader.stats();
+  std::fprintf(stderr,
+               "stream: %s accepted, %s rejected by validation\n",
+               fmtCount(stats.accepted).c_str(), fmtCount(rs.rejected).c_str());
+  std::printf("accepted %llu, compactions %llu, published %llu, "
+              "rollbacks %llu, quarantined %llu\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.compactions),
+              static_cast<unsigned long long>(stats.published),
+              static_cast<unsigned long long>(stats.rollbacks),
+              static_cast<unsigned long long>(stats.quarantined));
+  std::printf("serving sequence %llu (%s)\n",
+              static_cast<unsigned long long>(stats.lastSequence),
+              updater->log().pathFor(stats.lastSequence).c_str());
+  return stats.rollbacks == 0 ? 0 : 1;
+}
+
+int cmdLog(const Args& args) {
+  if (args.positional.empty() || args.positional[0] != "inspect") {
+    throw InvalidArgument("usage: fuzzypsm log inspect --dir DIR [--verify]");
+  }
+  const std::string dir = args.requiredOption("dir");
+
+  RecoveryReport report;
+  GenerationLog log(dir, &report);
+  std::printf("generation log: %s\n", log.directory().c_str());
+  std::printf("%-8s %-18s %12s  %s\n", "seq", "file", "bytes", "checksum");
+  for (const GenerationEntry& e : log.entries()) {
+    std::printf("%-8llu %-18s %12llu  %016llx\n",
+                static_cast<unsigned long long>(e.sequence), e.file.c_str(),
+                static_cast<unsigned long long>(e.bytes),
+                static_cast<unsigned long long>(e.checksum));
+  }
+  std::printf("next sequence: %llu\n",
+              static_cast<unsigned long long>(log.nextSequence()));
+
+  bool damaged = !report.clean();
+  if (damaged) std::printf("%s", report.render().c_str());
+
+  if (args.flag("verify")) {
+    RecoveryReport verify = log.verify();
+    if (verify.clean()) {
+      std::printf("verify: all %zu generations intact\n", log.entries().size());
+    } else {
+      std::printf("%s", verify.render().c_str());
+      damaged = true;
+    }
+  }
+  return damaged ? 1 : 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: fuzzypsm <train|measure|suggest|explain|guesses|"
-               "generate|serve-bench|compile|inspect|lint-grammar> "
-               "[options]\n"
+               "generate|serve-bench|compile|inspect|lint-grammar|"
+               "update-loop|log> [options]\n"
                "see the header of tools/fuzzypsm_cli.cpp for details\n");
   return 2;
 }
@@ -607,6 +762,8 @@ int main(int argc, char** argv) {
     if (args.command == "compile") return cmdCompile(args);
     if (args.command == "inspect") return cmdInspect(args);
     if (args.command == "lint-grammar") return cmdLintGrammar(args);
+    if (args.command == "update-loop") return cmdUpdateLoop(args);
+    if (args.command == "log") return cmdLog(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
