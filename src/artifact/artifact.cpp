@@ -5,6 +5,7 @@
 
 #include "artifact/checksum.h"
 #include "util/chars.h"
+#include "util/check.h"
 
 namespace fpsm {
 
@@ -484,7 +485,11 @@ void GrammarArtifact::init(const std::byte* data, std::size_t size) {
 
   // --- section payloads --------------------------------------------------
   auto payload = [&](ArtifactSection id) {
-    const auto& s = sections_[static_cast<std::uint32_t>(id) - 1];
+    // Section ids were range-checked while the table was parsed above;
+    // restate the bound where the cast indexes, so it holds locally too.
+    const std::uint32_t idx = static_cast<std::uint32_t>(id);
+    FPSM_CHECK(idx >= 1 && idx <= sections_.size());
+    const auto& s = sections_[idx - 1];
     return Cursor(data + s.offset, s.bytes, id);
   };
 

@@ -91,6 +91,10 @@ void writeCountTable(
 
 void writeTrie(Blob& out, const Trie& trie) {
   const FlatTrie flat = FlatTrie::fromTrie(trie);
+  // FlatTrie happens to index edges with u32 today, but the artifact's
+  // width contract belongs to this boundary, not to FlatTrie internals.
+  FPSM_CHECK(flat.edgeBegin().size() <= 0xffffffffull);
+  FPSM_CHECK(flat.edgeTargets().size() <= 0xffffffffull);
   out.u32(static_cast<std::uint32_t>(flat.edgeBegin().size()));
   out.u32(static_cast<std::uint32_t>(flat.edgeTargets().size()));
   out.u64(flat.wordCount());
@@ -210,6 +214,8 @@ void writeArtifact(std::ostream& out, const FuzzyConfig& config,
   header.u64(cursor);  // fileBytes
   header.u64(0);       // reserved
   header.u64(0);       // headerChecksum, patched below
+  static_assert(kArtifactSectionCount < 0xffffffffull,
+                "section ids must fit the header's u32 id field");
   for (std::size_t i = 0; i < kArtifactSectionCount; ++i) {
     header.u32(static_cast<std::uint32_t>(i + 1));  // id
     header.u32(0);                                  // reserved

@@ -32,6 +32,12 @@
 // line followed by valid ones, sequence numbers out of order) means the
 // append-only contract was broken by something other than a crash, and
 // open throws GenerationLogError rather than guess.
+//
+// Concurrency contract: GenerationLog is NOT internally synchronized — it
+// is a single-writer type. Its one production instance lives inside
+// OnlineUpdater as `log_ FPSM_GUARDED_BY(compactionMutex_)`, so the `tsa`
+// build (DESIGN.md §13) proves every append/read happens under that lock.
+// Standalone users (tools, tests) must provide their own exclusion.
 #pragma once
 
 #include <cstddef>

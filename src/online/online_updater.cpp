@@ -8,6 +8,7 @@
 #include "util/chars.h"
 #include "util/error.h"
 #include "util/hash.h"
+#include "util/mutex.h"
 
 namespace fpsm {
 
@@ -108,6 +109,13 @@ OnlineUpdater::OnlineUpdater(GenerationLog log, FuzzyPsm base,
       service_(std::move(service)),
       shards_(config_.deltaShards == 0 ? 1 : config_.deltaShards) {
   lastSequence_.store(servedSequence, std::memory_order_relaxed);
+  // Fold the in-process update path onto the durable loop: update() on the
+  // served MeterService now routes into accept(), so there is exactly one
+  // update pipeline and every published generation is log-backed. Installed
+  // before any caller can reach service(), so no update can slip into the
+  // service's internal queue.
+  service_->setUpdateSink(
+      [this](std::string_view pw, std::uint64_t n) { accept(pw, n); });
   if (config_.backgroundCompactor) {
     compactor_ = std::thread([this] { compactorLoop(); });
   }
@@ -115,8 +123,12 @@ OnlineUpdater::OnlineUpdater(GenerationLog log, FuzzyPsm base,
 
 OnlineUpdater::~OnlineUpdater() {
   stopping_.store(true, std::memory_order_release);
-  wakeCv_.notify_all();
+  wakeCv_.notifyAll();
   if (compactor_.joinable()) compactor_.join();
+  // The service outlives this destructor body (it is a member), but its
+  // sink closes over `this` — detach it so a stray late update() cannot
+  // call into a half-destroyed updater.
+  service_->setUpdateSink(nullptr);
 }
 
 void OnlineUpdater::accept(std::string_view pw, std::uint64_t n) {
@@ -127,12 +139,12 @@ void OnlineUpdater::accept(std::string_view pw, std::uint64_t n) {
   const std::uint64_t pending =
       pendingApprox_.fetch_add(n, std::memory_order_relaxed) + n;
   if (config_.backgroundCompactor && pending >= config_.maxPendingUpdates) {
-    wakeCv_.notify_one();
+    wakeCv_.notifyOne();
   }
 }
 
 OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
-  const std::lock_guard<std::mutex> lock(compactionMutex_);
+  const MutexLock lock(compactionMutex_);
   CompactionResult res;
 
   // Drain every shard into one batch. Batch order is unspecified (hash-map
@@ -200,12 +212,20 @@ OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
 void OnlineUpdater::compactorLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     {
-      std::unique_lock<std::mutex> lock(wakeMutex_);
-      wakeCv_.wait_for(lock, config_.compactionInterval, [this] {
-        return stopping_.load(std::memory_order_acquire) ||
-               pendingApprox_.load(std::memory_order_relaxed) >=
-                   config_.maxPendingUpdates;
-      });
+      // Explicit deadline loop (not a predicate-lambda wait) so the wake
+      // conditions are checked in this annotated scope; they are atomics,
+      // wakeMutex_ only carries the condvar protocol (see header).
+      const auto deadline =
+          std::chrono::steady_clock::now() + config_.compactionInterval;
+      const MutexLock lock(wakeMutex_);
+      while (!stopping_.load(std::memory_order_acquire) &&
+             pendingApprox_.load(std::memory_order_relaxed) <
+                 config_.maxPendingUpdates) {
+        if (wakeCv_.waitUntil(wakeMutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     if (stopping_.load(std::memory_order_acquire)) break;
     if (pendingApprox_.load(std::memory_order_relaxed) == 0) continue;

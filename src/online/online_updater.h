@@ -53,11 +53,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -68,6 +66,8 @@
 #include "serve/meter_service.h"
 #include "serve/update_queue.h"
 #include "train/sharded_trainer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpsm {
 
@@ -155,54 +155,70 @@ class OnlineUpdater {
 
   /// The serve path's update hook: validates and enqueues n occurrences of
   /// an accepted password. Never blocks on compaction; throws
-  /// InvalidArgument on malformed passwords.
-  void accept(std::string_view pw, std::uint64_t n = 1);
+  /// InvalidArgument on malformed passwords. MeterService::update() on the
+  /// underlying service routes here too (the updater installs itself as
+  /// the service's update sink), so the in-process and durable update
+  /// paths are one path.
+  void accept(std::string_view pw, std::uint64_t n = 1)
+      FPSM_EXCLUDES(compactionMutex_);
 
   /// Runs one compaction cycle synchronously (see class comment). Returns
   /// what happened; never throws on gate failure — a rejected generation
   /// is a reported rollback, not an exception, because the loop must keep
   /// serving. Filesystem failures (GenerationLogError) do propagate.
-  CompactionResult compactNow();
+  CompactionResult compactNow() FPSM_EXCLUDES(compactionMutex_);
 
   /// Scoring surface: the underlying service. Scores always come from the
   /// newest published (log-backed) generation.
-  const MeterService& service() const { return *service_; }
-  MeterService& service() { return *service_; }
+  const MeterService& service() const FPSM_NO_CAPABILITY {
+    return *service_;
+  }
+  MeterService& service() FPSM_NO_CAPABILITY { return *service_; }
 
-  /// The artifact log backing this updater.
-  const GenerationLog& log() const { return log_; }
+  /// The artifact log backing this updater. Read-only inspection surface
+  /// for tests and the CLI; log_ itself is guarded by compactionMutex_,
+  /// and this accessor deliberately opts out of the analysis — callers
+  /// must be quiescent (background compactor off or stopped), which is a
+  /// lifecycle contract the lock cannot express. See DESIGN.md §13 on
+  /// annotated escape hatches.
+  const GenerationLog& log() const FPSM_NO_THREAD_SAFETY_ANALYSIS {
+    return log_;
+  }
 
   /// Occurrences accepted but not yet compacted (approximate under
   /// concurrent accept()).
-  std::uint64_t pendingUpdates() const;
+  std::uint64_t pendingUpdates() const FPSM_NO_CAPABILITY;
 
-  Stats stats() const;
+  Stats stats() const FPSM_NO_CAPABILITY;
 
  private:
   OnlineUpdater(GenerationLog log, FuzzyPsm base,
                 std::unique_ptr<MeterService> service,
                 std::uint64_t servedSequence, OnlineUpdaterConfig config);
 
-  void compactorLoop();
+  void compactorLoop() FPSM_EXCLUDES(compactionMutex_);
 
-  OnlineUpdaterConfig config_;
-  GenerationLog log_;
+  const OnlineUpdaterConfig config_;  // immutable after construction
 
-  // Cumulative state: base_ holds the dictionary plus all counts that have
-  // ever been published. Touched only under compactionMutex_.
-  mutable std::mutex compactionMutex_;
-  FuzzyPsm base_;
+  // Cumulative state, all advanced atomically per compaction under
+  // compactionMutex_: log_ is the durable artifact sequence and base_ the
+  // dictionary plus every count that has ever been published.
+  mutable Mutex compactionMutex_;
+  GenerationLog log_ FPSM_GUARDED_BY(compactionMutex_);
+  FuzzyPsm base_ FPSM_GUARDED_BY(compactionMutex_);
 
-  std::unique_ptr<MeterService> service_;
+  std::unique_ptr<MeterService> service_;  // internally synchronized
 
   // Accept path. Sized at construction, never resized (UpdateQueue is
-  // immovable).
+  // immovable and internally locked).
   std::vector<UpdateQueue> shards_;
 
-  // Background compactor.
+  // Background compactor. wakeMutex_ guards no data — the wake predicate
+  // reads atomics — it exists only to carry wakeCv_'s sleep/notify
+  // protocol, so nothing is FPSM_GUARDED_BY it.
   std::atomic<bool> stopping_{false};
-  std::mutex wakeMutex_;
-  std::condition_variable wakeCv_;
+  Mutex wakeMutex_;
+  CondVar wakeCv_;
   std::thread compactor_;
 
   // Counters (relaxed; monitoring only).

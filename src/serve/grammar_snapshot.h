@@ -22,6 +22,13 @@
 // inside MeterService; the generation number orders publishes and keys the
 // score cache so a cached score can never outlive the grammar it was
 // computed from.
+//
+// Concurrency contract: immutability IS the synchronization. Every member
+// is set in the constructor and never written again, so no capability
+// annotations apply (there is no mutex to name) and the `tsa` build
+// (DESIGN.md §13) has nothing to prove here. The invariant the hot path
+// relies on instead — scoring acquires no locks at all — is enforced by
+// fpsm_lint's hot-path-lock rule over this file and the scoring kernels.
 #pragma once
 
 #include <cstddef>

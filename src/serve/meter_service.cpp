@@ -16,6 +16,10 @@ MeterService::MeterService(FuzzyPsm grammar, MeterServiceConfig config)
       master_(std::move(grammar)),
       cache_(config.cacheCapacity == 0 ? 1 : config.cacheCapacity,
              config.cacheShards) {
+  // The lock is uncontended here (no other thread can hold a reference
+  // yet) but scoping the guarded-state access keeps the constructor under
+  // the same proven discipline as every later publish.
+  const MutexLock lock(masterMutex_);
   if (!master_.trained()) {
     throw NotTrained("MeterService: grammar must be trained before serving");
   }
@@ -36,6 +40,7 @@ MeterService::MeterService(std::shared_ptr<const GrammarArtifact> artifact,
   if (!artifact->grammar().trained()) {
     throw NotTrained("MeterService: artifact grammar must be trained");
   }
+  const MutexLock lock(masterMutex_);
   coldArtifact_ = std::move(artifact);
   current_.store(GrammarSnapshot::fromArtifact(
       coldArtifact_, 0, config_.lintArtifacts, config_.lintOptions));
@@ -127,7 +132,24 @@ void MeterService::update(std::string_view pw, std::uint64_t n) {
   if (n == 0) return;
   validatePassword(pw);
   updateCount_.fetch_add(n, std::memory_order_relaxed);
+  // With a sink installed (OnlineUpdater's durable loop), forward instead
+  // of queueing: the fold then happens at the sink's compaction cadence
+  // and every published generation is log-backed. The pin keeps a
+  // concurrent setUpdateSink(nullptr) from destroying the function while
+  // we call through it.
+  if (const auto sink = updateSink_.load(); sink && *sink) {
+    (*sink)(pw, n);
+    return;
+  }
   queue_.push(pw, n);
+}
+
+void MeterService::setUpdateSink(UpdateSink sink) {
+  if (sink) {
+    updateSink_.store(std::make_shared<const UpdateSink>(std::move(sink)));
+  } else {
+    updateSink_.store(nullptr);
+  }
 }
 
 std::uint64_t MeterService::applyAndPublishLocked(
@@ -160,7 +182,7 @@ std::uint64_t MeterService::applyAndPublishLocked(
 }
 
 std::uint64_t MeterService::publishNow() {
-  const std::lock_guard<std::mutex> lock(masterMutex_);
+  const MutexLock lock(masterMutex_);
   const UpdateQueue::Batch batch = queue_.drain();
   if (batch.empty()) return current_.load()->generation();
   return applyAndPublishLocked(batch);
@@ -174,7 +196,7 @@ std::uint64_t MeterService::publishFromArtifact(
   if (!artifact->grammar().trained()) {
     throw NotTrained("MeterService: artifact grammar must be trained");
   }
-  const std::lock_guard<std::mutex> lock(masterMutex_);
+  const MutexLock lock(masterMutex_);
   // Build (and lint) the snapshot before touching any service state: a
   // GrammarLintError here must leave the previous grammar serving.
   const std::uint64_t gen = nextGeneration_;
@@ -193,7 +215,7 @@ void MeterService::publisherLoop() {
     const bool pending =
         queue_.waitFor(config_.publishInterval, config_.maxPendingUpdates);
     if (!pending) continue;
-    const std::lock_guard<std::mutex> lock(masterMutex_);
+    const MutexLock lock(masterMutex_);
     const UpdateQueue::Batch batch = queue_.drain();
     if (!batch.empty()) applyAndPublishLocked(batch);
   }

@@ -25,18 +25,26 @@
 //     from (ScoreCache evicts on mismatch), so a publish atomically
 //     invalidates the cache.
 //   * update() never loses occurrences: batches are either pending in the
-//     queue or folded into the master grammar.
+//     queue, folded into the master grammar, or handed to the installed
+//     update sink (see setUpdateSink).
 //
 // The cost relative to the paper's immediate-fold semantics is bounded
 // staleness: an accepted password influences scores only after the next
 // publish (at most publishInterval later, sooner under backlog pressure).
+//
+// Locking discipline (proven by the `tsa` build, DESIGN.md §13): the
+// writer-side state — master_, coldArtifact_, nextGeneration_ — is
+// FPSM_GUARDED_BY(masterMutex_); public entry points FPSM_EXCLUDES the
+// mutex they acquire; applyAndPublishLocked FPSM_REQUIRES it. The reader
+// side needs no capability at all: current_ is an RcuPtr (internally
+// annotated) and cache_/queue_ are internally locked types.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -45,7 +53,9 @@
 #include "serve/grammar_snapshot.h"
 #include "serve/score_cache.h"
 #include "serve/update_queue.h"
+#include "util/mutex.h"
 #include "util/rcu_ptr.h"
+#include "util/thread_annotations.h"
 
 namespace fpsm {
 
@@ -89,6 +99,9 @@ class MeterService {
     ScoreCache::Stats cache;
   };
 
+  /// Receives update() occurrences when installed (see setUpdateSink).
+  using UpdateSink = std::function<void(std::string_view, std::uint64_t)>;
+
   /// Takes ownership of a trained grammar and publishes it as generation 0.
   /// Throws NotTrained if the grammar has no counts.
   explicit MeterService(FuzzyPsm grammar, MeterServiceConfig config = {});
@@ -110,10 +123,12 @@ class MeterService {
   /// Scores one password against the current snapshot. Scoring itself is
   /// synchronization-free; the only locks touched are the RcuPtr's
   /// pointer-copy critical section and one cache shard's mutex.
-  Score score(std::string_view pw) const;
+  Score score(std::string_view pw) const FPSM_EXCLUDES(masterMutex_);
 
   /// Convenience: score().bits.
-  double strengthBits(std::string_view pw) const { return score(pw).bits; }
+  double strengthBits(std::string_view pw) const FPSM_NO_CAPABILITY {
+    return score(pw).bits;
+  }
 
   /// Scores a batch against ONE consistent snapshot (all results share a
   /// generation, so a publish landing mid-batch cannot mix grammars in one
@@ -125,19 +140,34 @@ class MeterService {
   /// against the same snapshot — enforced by tests/batch_test.cpp.
   /// `requestedThreads` follows parallelFor semantics (0 = auto).
   std::vector<Score> scoreBatch(const std::vector<std::string>& pws,
-                                unsigned requestedThreads = 0) const;
+                                unsigned requestedThreads = 0) const
+      FPSM_EXCLUDES(masterMutex_);
 
   /// The update phase: enqueues n occurrences of an accepted password for
   /// the next publish. Cheap (one mutex-protected hash-map bump); never
   /// rebuilds inline. Throws InvalidArgument on invalid passwords so the
-  /// error surfaces on the caller's thread, not the publisher's.
-  void update(std::string_view pw, std::uint64_t n = 1);
+  /// error surfaces on the caller's thread, not the publisher's. When an
+  /// update sink is installed the occurrences are forwarded to it instead
+  /// of the internal queue (see setUpdateSink).
+  void update(std::string_view pw, std::uint64_t n = 1)
+      FPSM_EXCLUDES(masterMutex_);
+
+  /// Routes all future update() traffic into an external durable pipeline
+  /// instead of the in-process queue — this is how OnlineUpdater folds the
+  /// in-process update path onto its generation-log loop (DESIGN.md §12):
+  /// with a sink installed, update() == OnlineUpdater::accept(), so every
+  /// fold is log-backed and crash-durable rather than process-local.
+  /// Occurrences already queued before the swap still fold at the next
+  /// publish (they are never lost). Pass nullptr to restore the in-process
+  /// path. The swap itself is RCU-published and safe under concurrent
+  /// update() calls.
+  void setUpdateSink(UpdateSink sink) FPSM_NO_CAPABILITY;
 
   /// Synchronously drains the queue and, if anything was pending, folds it
   /// into the master grammar and publishes a new snapshot. Returns the
   /// generation current after the call. Serialized with the background
   /// publisher; safe to call concurrently with readers.
-  std::uint64_t publishNow();
+  std::uint64_t publishNow() FPSM_EXCLUDES(masterMutex_);
 
   /// Replaces the served grammar with a compiled artifact (hot retrain
   /// rollout): publishes an artifact-backed snapshot under the next
@@ -145,43 +175,56 @@ class MeterService {
   /// pending in the queue are NOT lost — they fold into the new grammar at
   /// the next publish. Returns the published generation.
   std::uint64_t publishFromArtifact(
-      std::shared_ptr<const GrammarArtifact> artifact);
+      std::shared_ptr<const GrammarArtifact> artifact)
+      FPSM_EXCLUDES(masterMutex_);
 
   /// Current snapshot (pin it for consistent multi-call scoring).
-  std::shared_ptr<const GrammarSnapshot> snapshot() const {
+  std::shared_ptr<const GrammarSnapshot> snapshot() const
+      FPSM_NO_CAPABILITY {
     return current_.load();
   }
 
   /// Generation of the current snapshot.
-  std::uint64_t generation() const { return snapshot()->generation(); }
+  std::uint64_t generation() const FPSM_NO_CAPABILITY {
+    return snapshot()->generation();
+  }
 
-  std::uint64_t pendingUpdates() const { return queue_.pendingTotal(); }
+  std::uint64_t pendingUpdates() const FPSM_NO_CAPABILITY {
+    return queue_.pendingTotal();
+  }
 
-  Stats stats() const;
+  Stats stats() const FPSM_NO_CAPABILITY;
 
  private:
-  void publisherLoop();
-  /// Folds a drained batch into master_ and publishes. Caller holds
-  /// masterMutex_.
-  std::uint64_t applyAndPublishLocked(const UpdateQueue::Batch& batch);
+  void publisherLoop() FPSM_EXCLUDES(masterMutex_);
+  /// Folds a drained batch into master_ and publishes.
+  std::uint64_t applyAndPublishLocked(const UpdateQueue::Batch& batch)
+      FPSM_REQUIRES(masterMutex_);
 
-  MeterServiceConfig config_;
+  const MeterServiceConfig config_;  // immutable after construction
 
   // Writer side. master_ is the only mutable grammar; it is touched solely
   // under masterMutex_ and copied (then frozen) to produce snapshots.
   // While coldArtifact_ is set, master_ is empty and is materialized from
-  // the artifact lazily, at the first publish that folds updates.
-  mutable std::mutex masterMutex_;
-  FuzzyPsm master_;
-  std::shared_ptr<const GrammarArtifact> coldArtifact_;
-  std::uint64_t nextGeneration_ = 1;
+  // the artifact lazily, at the first publish that folds updates. The
+  // pointee is immutable (const), but the pointer is dereferenced only by
+  // the lock-holding publish path — so both the slot and the deref are
+  // annotated to masterMutex_.
+  mutable Mutex masterMutex_;
+  FuzzyPsm master_ FPSM_GUARDED_BY(masterMutex_);
+  std::shared_ptr<const GrammarArtifact> coldArtifact_
+      FPSM_GUARDED_BY(masterMutex_) FPSM_PT_GUARDED_BY(masterMutex_);
+  std::uint64_t nextGeneration_ FPSM_GUARDED_BY(masterMutex_) = 1;
 
-  // Reader side.
+  // Reader side (each type is internally synchronized).
   RcuPtr<GrammarSnapshot> current_;
   mutable ScoreCache cache_;
 
-  // Update pipeline.
+  // Update pipeline. The sink is RCU-published so update() callers racing
+  // a setUpdateSink() swap see either the old route or the new one, never
+  // a torn std::function.
   mutable UpdateQueue queue_;
+  RcuPtr<UpdateSink> updateSink_;
   std::atomic<bool> stopping_{false};
   std::thread publisher_;
 

@@ -24,7 +24,7 @@ ScoreCache::Shard& ScoreCache::shardFor(std::string_view pw) const {
 std::optional<double> ScoreCache::lookup(std::uint64_t generation,
                                          std::string_view pw) const {
   Shard& shard = shardFor(pw);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.index.find(pw);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -48,7 +48,7 @@ std::optional<double> ScoreCache::lookup(std::uint64_t generation,
 void ScoreCache::insert(std::uint64_t generation, std::string_view pw,
                         double bits) {
   Shard& shard = shardFor(pw);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const auto it = shard.index.find(pw);
   if (it != shard.index.end()) {
     it->second->generation = generation;
@@ -67,7 +67,7 @@ void ScoreCache::insert(std::uint64_t generation, std::string_view pw,
 std::size_t ScoreCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const MutexLock lock(shard->mutex);
     total += shard->lru.size();
   }
   return total;
@@ -76,7 +76,7 @@ std::size_t ScoreCache::size() const {
 ScoreCache::Stats ScoreCache::stats() const {
   Stats total;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
+    const MutexLock lock(shard->mutex);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.staleEvictions += shard->stats.staleEvictions;

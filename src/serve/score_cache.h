@@ -10,19 +10,22 @@
 // under a retired grammar.
 //
 // Sharding by password hash keeps lock hold times short and lets readers
-// on different shards proceed in parallel.
+// on different shards proceed in parallel. Each shard's LRU list, index,
+// and counters are FPSM_GUARDED_BY that shard's own mutex, so the
+// per-shard discipline is proven at compile time (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpsm {
 
@@ -66,10 +69,10 @@ class ScoreCache {
     double bits;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  // front = most recent
-    StringMap<std::list<Entry>::iterator> index;
-    mutable Stats stats;
+    mutable Mutex mutex;
+    std::list<Entry> lru FPSM_GUARDED_BY(mutex);  // front = most recent
+    StringMap<std::list<Entry>::iterator> index FPSM_GUARDED_BY(mutex);
+    mutable Stats stats FPSM_GUARDED_BY(mutex);
   };
 
   Shard& shardFor(std::string_view pw) const;

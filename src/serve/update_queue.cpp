@@ -5,7 +5,7 @@ namespace fpsm {
 void UpdateQueue::push(std::string_view pw, std::uint64_t n) {
   if (n == 0) return;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = pending_.find(pw);
     if (it == pending_.end()) {
       pending_.emplace(std::string(pw), n);
@@ -14,13 +14,13 @@ void UpdateQueue::push(std::string_view pw, std::uint64_t n) {
     }
     total_ += n;
   }
-  cv_.notify_one();
+  cv_.notifyOne();
 }
 
 UpdateQueue::Batch UpdateQueue::drain() {
   StringMap<std::uint64_t> taken;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     taken.swap(pending_);
     total_ = 0;
   }
@@ -33,21 +33,21 @@ UpdateQueue::Batch UpdateQueue::drain() {
 }
 
 std::size_t UpdateQueue::pendingDistinct() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return pending_.size();
 }
 
 std::uint64_t UpdateQueue::pendingTotal() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_;
 }
 
 void UpdateQueue::wake() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     woken_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
 }
 
 }  // namespace fpsm

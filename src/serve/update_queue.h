@@ -7,17 +7,24 @@
 // drained in batches by the publisher, which rebuilds and publishes a new
 // snapshot. The trade-off (scores lag accepted passwords by at most one
 // publish interval) is documented in DESIGN.md §7.
+//
+// Locking discipline (proven by the `tsa` build, DESIGN.md §13): every
+// field is FPSM_GUARDED_BY(mutex_); the public surface FPSM_EXCLUDES it.
+// waitFor() is written as an explicit deadline loop rather than a
+// predicate-lambda wait so the guarded reads of total_/woken_ stay inside
+// the annotated critical section where the analysis can see the lock.
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpsm {
 
@@ -29,16 +36,16 @@ class UpdateQueue {
 
   /// Records n more occurrences of pw. Thread-safe; never blocks on the
   /// publisher beyond the queue mutex.
-  void push(std::string_view pw, std::uint64_t n = 1);
+  void push(std::string_view pw, std::uint64_t n = 1) FPSM_EXCLUDES(mutex_);
 
   /// Atomically takes the entire pending batch (empty if nothing pending).
-  Batch drain();
+  Batch drain() FPSM_EXCLUDES(mutex_);
 
   /// Distinct pending passwords.
-  std::size_t pendingDistinct() const;
+  std::size_t pendingDistinct() const FPSM_EXCLUDES(mutex_);
 
   /// Total pending occurrences (sum of counts).
-  std::uint64_t pendingTotal() const;
+  std::uint64_t pendingTotal() const FPSM_EXCLUDES(mutex_);
 
   /// Blocks until the pending backlog reaches `threshold` occurrences,
   /// `wake()` is called, or the timeout passes — whichever comes first.
@@ -46,23 +53,26 @@ class UpdateQueue {
   /// interval batching, the threshold bounds the backlog under a flood,
   /// and wake() serves shutdown/flush. Returns true if updates are pending.
   template <typename Duration>
-  bool waitFor(Duration timeout, std::uint64_t threshold) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock, timeout,
-                 [this, threshold] { return total_ >= threshold || woken_; });
+  bool waitFor(Duration timeout, std::uint64_t threshold)
+      FPSM_EXCLUDES(mutex_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    const MutexLock lock(mutex_);
+    while (total_ < threshold && !woken_) {
+      if (cv_.waitUntil(mutex_, deadline) == std::cv_status::timeout) break;
+    }
     woken_ = false;
     return total_ > 0;
   }
 
   /// Wakes a waitFor() caller early (publisher shutdown / flush request).
-  void wake();
+  void wake() FPSM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  StringMap<std::uint64_t> pending_;
-  std::uint64_t total_ = 0;
-  bool woken_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  StringMap<std::uint64_t> pending_ FPSM_GUARDED_BY(mutex_);
+  std::uint64_t total_ FPSM_GUARDED_BY(mutex_) = 0;
+  bool woken_ FPSM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fpsm

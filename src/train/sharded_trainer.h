@@ -24,6 +24,14 @@
 // shard is linted pre-merge with the GrammarCounts overload of
 // GrammarValidator, pinning any counting defect to the worker that
 // produced it.
+//
+// Concurrency contract: deliberately lock-free, so there is nothing here
+// for the `tsa` build (DESIGN.md §13) to annotate. Workers share only
+// immutable state (the base trie, the config) and write only thread-local
+// shards; the merge runs after parallelFor's join, which is the sole
+// synchronization point. Adding a mutex to this file would be a design
+// regression — fpsm_lint would flag it (raw primitives are confined to
+// util/), and the fix is to keep worker state thread-local instead.
 #pragma once
 
 #include <cstddef>

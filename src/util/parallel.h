@@ -6,7 +6,12 @@
 // mutable state, so plain index partitioning is safe and scales linearly.
 //
 // Exceptions thrown by fn are captured and rethrown (first one wins) on
-// the calling thread.
+// the calling thread. The capture channel is the only shared mutable state
+// in here, and its discipline is proven at compile time: the slot is
+// FPSM_GUARDED_BY its mutex, so a worker (or the join path) touching it
+// without the lock fails the `tsa` build (DESIGN.md §13). Edge-case
+// behavior — n == 0, n == 1, more workers than items, exception
+// propagation — is pinned by tests/util_test.cpp.
 #pragma once
 
 #include <algorithm>
@@ -14,11 +19,44 @@
 #include <cstdlib>
 #include <exception>
 #include <limits>
-#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace fpsm {
+
+namespace internal {
+
+/// First-exception-wins channel between workers and the joining thread.
+/// Workers offer() concurrently; the owner take()s after every worker has
+/// joined (the join is the synchronization point, but the lock is cheap and
+/// lets the analysis prove the protocol instead of trusting the comment).
+class ParallelErrorChannel {
+ public:
+  void offer(std::exception_ptr error) FPSM_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    if (!first_) first_ = std::move(error);
+  }
+
+  /// Rethrows the first captured exception, if any.
+  void rethrowIfSet() FPSM_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(mutex_);
+      error = std::exchange(first_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mutex_;
+  std::exception_ptr first_ FPSM_GUARDED_BY(mutex_);
+};
+
+}  // namespace internal
 
 /// Thread count requested through the FPSM_THREADS environment variable, or
 /// 0 (meaning "decide automatically") when unset, empty, or unparsable.
@@ -64,8 +102,7 @@ void parallelFor(std::size_t n, Fn&& fn, unsigned requestedThreads = 0) {
     return;
   }
 
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
+  internal::ParallelErrorChannel errors;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   const std::size_t chunk = (n + workers - 1) / workers;
@@ -77,13 +114,12 @@ void parallelFor(std::size_t n, Fn&& fn, unsigned requestedThreads = 0) {
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(errorMutex);
-        if (!firstError) firstError = std::current_exception();
+        errors.offer(std::current_exception());
       }
     });
   }
   for (auto& t : pool) t.join();
-  if (firstError) std::rethrow_exception(firstError);
+  errors.rethrowIfSet();
 }
 
 }  // namespace fpsm

@@ -14,13 +14,24 @@
 // protocol provably data-race-free. Retired versions are destroyed outside
 // the critical section so grammar teardown never stalls readers.
 //
+// The publish/pin protocol under thread-safety analysis (DESIGN.md §13):
+// the pointer slot ptr_ is FPSM_GUARDED_BY(mutex_) — every load, store,
+// and swap of the *slot* is proven to happen under the lock. The slot is
+// deliberately NOT FPSM_PT_GUARDED_BY(mutex_): the whole point of RCU is
+// that a pinned snapshot is dereferenced lock-free after load() returns,
+// which is sound because T is const (immutable once published) and the
+// returned shared_ptr keeps the version alive. Pinning copies the pointer
+// under the lock; dereferencing the pin needs no capability at all.
+//
 // This is the serving layer's only synchronization primitive between the
 // score path and the grammar rebuild path (see src/serve/meter_service.h).
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace fpsm {
 
@@ -35,28 +46,30 @@ class RcuPtr {
   RcuPtr& operator=(const RcuPtr&) = delete;
 
   /// Reader side: acquire a snapshot. The returned shared_ptr pins the
-  /// version alive for the caller's lifetime of use.
-  std::shared_ptr<const T> load() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  /// version alive for the caller's lifetime of use; dereferencing the pin
+  /// is lock-free (see header comment).
+  std::shared_ptr<const T> load() const FPSM_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     return ptr_;
   }
 
   /// Writer side: publish a new version. Readers that loaded before the
   /// store keep the old version; readers that load after see the new one.
-  void store(std::shared_ptr<const T> next) {
+  void store(std::shared_ptr<const T> next) FPSM_EXCLUDES(mutex_) {
     exchange(std::move(next));  // displaced version destroyed here, unlocked
   }
 
   /// Publish and return the displaced version (for writer-side bookkeeping).
-  std::shared_ptr<const T> exchange(std::shared_ptr<const T> next) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<const T> exchange(std::shared_ptr<const T> next)
+      FPSM_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     std::swap(ptr_, next);
     return next;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<const T> ptr_;
+  mutable Mutex mutex_;
+  std::shared_ptr<const T> ptr_ FPSM_GUARDED_BY(mutex_);
 };
 
 }  // namespace fpsm

@@ -1,0 +1,16 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. Raw std::mutex outside src/util/: fpsm_lint must report R001
+// raw-sync-primitive (and exit non-zero) on this file, which is the
+// self-test proving the linter enforces the util/mutex.h confinement rule.
+#include <mutex>
+
+namespace fpsm_lint_seed {
+
+std::mutex gSeedMutex;
+
+int lockedIncrement(int v) {
+  const std::lock_guard<std::mutex> lock(gSeedMutex);
+  return v + 1;
+}
+
+}  // namespace fpsm_lint_seed

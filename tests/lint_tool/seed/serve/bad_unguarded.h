@@ -1,0 +1,27 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. A Mutex-holding class with a field that is written under the lock
+// but not FPSM_GUARDED_BY it: fpsm_lint must report R006
+// unannotated-guarded-field (and exit non-zero) on this file, which is the
+// self-test proving the linter actually catches unguarded fields.
+#pragma once
+
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fpsm_lint_seed {
+
+class UnguardedCounter {
+ public:
+  void bump() FPSM_EXCLUDES(mutex_) {
+    const fpsm::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+ private:
+  mutable fpsm::Mutex mutex_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace fpsm_lint_seed

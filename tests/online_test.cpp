@@ -423,6 +423,41 @@ TEST(OnlineUpdater, AcceptValidatesAndCoalesces) {
   EXPECT_EQ(updater->log().entries().size(), 2u);
 }
 
+TEST(OnlineUpdater, ServiceUpdateRoutesThroughTheDurableLoop) {
+  // The updater installs itself as the service's update sink, so the
+  // in-process path MeterService::update() and the durable accept() are
+  // one pipeline: occurrences sent through the service must land in the
+  // updater's pending set, fold at compaction, and publish a log-backed
+  // generation — and the service's own queue must stay empty throughout.
+  const std::string dir = scratchDir("sinkfold");
+  FuzzyPsm seed = fixtureBase();
+  seed.train(fixtureDataset("online_corpus.txt"));
+  auto updater = OnlineUpdater::bootstrap(seed, dir);
+
+  updater->service().update("password1", 2);
+  updater->service().update("zzzzzz");
+  EXPECT_EQ(updater->pendingUpdates(), 3u);
+  EXPECT_EQ(updater->service().pendingUpdates(), 0u);
+
+  const auto result = updater->compactNow();
+  EXPECT_TRUE(result.published) << result.rejection;
+  EXPECT_EQ(result.folded, 3u);
+  EXPECT_EQ(result.sequence, 2u);
+  EXPECT_EQ(updater->pendingUpdates(), 0u);
+  EXPECT_EQ(updater->stats().accepted, 3u);
+
+  // The published grammar must score like a direct retrain that saw the
+  // same occurrences — proof the sink-routed updates actually folded.
+  FuzzyPsm oracle = fixtureBase();
+  oracle.train(fixtureDataset("online_corpus.txt"));
+  oracle.update("password1", 2);
+  oracle.update("zzzzzz", 1);
+  EXPECT_EQ(updater->service().strengthBits("password1"),
+            oracle.strengthBits("password1"));
+  EXPECT_EQ(updater->service().strengthBits("zzzzzz"),
+            oracle.strengthBits("zzzzzz"));
+}
+
 // -------------------------------------- the online-vs-batch determinism core
 
 TEST(OnlineUpdater, OnlineRunMatchesBatchRetrainByteIdentically) {

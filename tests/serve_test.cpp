@@ -376,6 +376,40 @@ TEST(MeterServiceTest, PublishNowWithoutPendingKeepsGeneration) {
   EXPECT_EQ(service.generation(), 0u);
 }
 
+TEST(MeterServiceTest, UpdateSinkDivertsUpdatesFromQueue) {
+  MeterServiceConfig cfg;
+  cfg.backgroundPublisher = false;
+  MeterService service(seedGrammar(), cfg);
+
+  // With a sink installed, update() forwards instead of queueing...
+  std::vector<std::pair<std::string, std::uint64_t>> captured;
+  service.setUpdateSink([&](std::string_view pw, std::uint64_t n) {
+    captured.emplace_back(std::string(pw), n);
+  });
+  service.update("password1", 3);
+  service.update("zzzzzz");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], (std::pair<std::string, std::uint64_t>{
+                             "password1", 3}));
+  EXPECT_EQ(captured[1],
+            (std::pair<std::string, std::uint64_t>{"zzzzzz", 1}));
+  EXPECT_EQ(service.pendingUpdates(), 0u);
+  // ...so publishNow() has nothing to fold and the generation holds.
+  EXPECT_EQ(service.publishNow(), 0u);
+  // Validation still happens on the caller's thread, before the sink.
+  EXPECT_THROW(service.update(""), InvalidArgument);
+  EXPECT_EQ(captured.size(), 2u);
+  // Stats still count sink-routed occurrences as accepted updates.
+  EXPECT_EQ(service.stats().updates, 4u);
+
+  // Detaching the sink restores the in-process queue path.
+  service.setUpdateSink(nullptr);
+  service.update("password1", 2);
+  EXPECT_EQ(captured.size(), 2u);
+  EXPECT_EQ(service.pendingUpdates(), 2u);
+  EXPECT_EQ(service.publishNow(), 1u);
+}
+
 TEST(MeterServiceTest, BatchSharesOneGenerationAndMatchesSingles) {
   MeterServiceConfig cfg;
   cfg.backgroundPublisher = false;

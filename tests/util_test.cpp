@@ -272,6 +272,48 @@ TEST(Parallel, ExplicitRequestNotClampedByWorkHeuristic) {
   EXPECT_EQ(parallelWorkerCount(0, 8), 1u);
 }
 
+TEST(Parallel, SingleItemRunsInlineOnCallerThread) {
+  // n = 1 must not spawn: even with an explicit thread request the worker
+  // count clamps to n, and the one item runs on the calling thread (this
+  // is what keeps trivial scoreBatch calls allocation- and thread-free).
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran{};
+  parallelFor(1, [&](std::size_t) { ran = std::this_thread::get_id(); }, 8);
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(Parallel, MoreThreadsThanItemsVisitsEachOnce) {
+  // 16 requested workers over 3 items: no index may be dropped or visited
+  // twice, and the call must not deadlock waiting for idle workers.
+  std::array<std::atomic<int>, 3> hits{};
+  parallelFor(3, [&](std::size_t i) { ++hits[i]; }, 16);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ZeroItemsNeverInvokesBody) {
+  std::atomic<int> count{0};
+  parallelFor(0, [&](std::size_t) { ++count; }, 8);
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(Parallel, ExceptionUnderFanOutPropagatesExactlyOne) {
+  // Every worker throws; ParallelErrorChannel must keep the first error,
+  // join all workers, and rethrow exactly one — and the pool must be fully
+  // torn down so the next call works.
+  try {
+    parallelFor(
+        64, [](std::size_t i) { throw InvalidArgument("boom " +
+                                                      std::to_string(i)); },
+        4);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  std::atomic<int> count{0};
+  parallelFor(8, [&](std::size_t) { ++count; }, 4);
+  EXPECT_EQ(count.load(), 8);
+}
+
 TEST(Parallel, ExplicitRequestActuallyFansOut) {
   // parallelFor must honor the explicit request end to end: with 4 workers
   // over 8 slow items, at least two distinct threads participate.
