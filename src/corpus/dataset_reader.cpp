@@ -1,5 +1,6 @@
 #include "corpus/dataset_reader.h"
 
+#include "obs/stage_timer.h"
 #include "util/error.h"
 
 namespace fpsm {
@@ -13,6 +14,9 @@ DatasetReader::DatasetReader(const std::string& path) : file_(path) {
 
 bool DatasetReader::nextChunk(std::vector<Dataset::Entry>& out,
                               std::size_t maxEntries) {
+  // The read stage of the training pipeline: getline + line parse into
+  // entries. The final empty call (stream exhausted) is not a sample.
+  obs::StageTimer span(obs::Histo::TrainReadChunk);
   out.clear();
   while (out.size() < maxEntries && std::getline(*in_, line_)) {
     std::string_view pw;
@@ -20,6 +24,9 @@ bool DatasetReader::nextChunk(std::vector<Dataset::Entry>& out,
     if (parser_.parse(line_, pw, count, stats_)) {
       out.push_back(Dataset::Entry{std::string(pw), count});
     }
+  }
+  if (out.empty()) {
+    span.cancel();
   }
   return !out.empty();
 }

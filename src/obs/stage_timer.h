@@ -1,0 +1,72 @@
+// RAII stage span: times a scope and records the elapsed microseconds into
+// a Histo on destruction. This header is the ONLY place outside tests that
+// may pair a steady_clock read with a metric update — fpsm_lint rule R008
+// bans that combination everywhere else, which forces all latency
+// instrumentation through this one audited type.
+//
+// With the FPSM_METRICS kill switch off the timer stops reading the clock
+// at all, so an instrumented scope is bit-for-bit the uninstrumented code.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace fpsm::obs {
+
+#if FPSM_METRICS_ENABLED
+
+class StageTimer {
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  explicit StageTimer(Histo stage) noexcept
+      : stage_(stage), start_(Clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    if (armed_) observe(stage_, elapsedUs());
+  }
+
+  /// Record now instead of at scope exit; returns the elapsed µs.
+  std::uint64_t stop() noexcept {
+    armed_ = false;
+    const std::uint64_t us = elapsedUs();
+    observe(stage_, us);
+    return us;
+  }
+
+  /// Disarm without recording (e.g. the span produced no work item).
+  void cancel() noexcept { armed_ = false; }
+
+  std::uint64_t elapsedUs() const noexcept {
+    const auto d = Clock::now() - start_;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+    return us < 0 ? 0 : static_cast<std::uint64_t>(us);
+  }
+
+ private:
+  Histo stage_;
+  Clock::time_point start_;
+  bool armed_ = true;
+};
+
+#else  // !FPSM_METRICS_ENABLED
+
+class StageTimer {
+ public:
+  explicit StageTimer(Histo) noexcept {}
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+  std::uint64_t stop() noexcept { return 0; }
+  void cancel() noexcept {}
+  std::uint64_t elapsedUs() const noexcept { return 0; }
+};
+
+#endif  // FPSM_METRICS_ENABLED
+
+}  // namespace fpsm::obs

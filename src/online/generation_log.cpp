@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "artifact/checksum.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace fs = std::filesystem;
 
@@ -214,6 +216,9 @@ GenerationLog::GenerationLog(const std::string& directory,
 }
 
 void GenerationLog::recover(RecoveryReport& report) {
+  // Counted as a delta: the caller may hand in a report that already
+  // carries skips from an earlier recovery pass.
+  const std::size_t skipsBefore = report.skipped.size();
   // Remove stray .tmp files — a crash mid-file-write left them; nothing
   // references them.
   std::error_code ec;
@@ -322,6 +327,11 @@ void GenerationLog::recover(RecoveryReport& report) {
         sequenceFromFileName(dirent.path().filename().string());
     if (seq >= nextSequence_) nextSequence_ = seq + 1;
   }
+
+  obs::count(obs::Counter::GenlogRecoverySkips,
+             report.skipped.size() - skipsBefore);
+  obs::gaugeSet(obs::Gauge::GenlogGenerations,
+                static_cast<std::int64_t>(entries_.size()));
 }
 
 std::string GenerationLog::fileNameFor(std::uint64_t sequence) {
@@ -332,6 +342,7 @@ std::string GenerationLog::fileNameFor(std::uint64_t sequence) {
 }
 
 std::uint64_t GenerationLog::append(const void* data, std::size_t bytes) {
+  obs::StageTimer span(obs::Histo::GenlogAppendLatency);
   const std::uint64_t seq = nextSequence_;
   GenerationEntry entry;
   entry.sequence = seq;
@@ -381,6 +392,9 @@ std::uint64_t GenerationLog::append(const void* data, std::size_t bytes) {
   }
   nextSequence_ = seq + 1;
   entries_.push_back(std::move(entry));
+  obs::count(obs::Counter::GenlogAppends);
+  obs::gaugeSet(obs::Gauge::GenlogGenerations,
+                static_cast<std::int64_t>(entries_.size()));
   return seq;
 }
 

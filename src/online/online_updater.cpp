@@ -5,6 +5,8 @@
 
 #include "analysis/grammar_lint.h"
 #include "artifact/artifact.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "util/chars.h"
 #include "util/error.h"
 #include "util/hash.h"
@@ -133,11 +135,19 @@ OnlineUpdater::~OnlineUpdater() {
 
 void OnlineUpdater::accept(std::string_view pw, std::uint64_t n) {
   if (n == 0) return;
-  validatePassword(pw);
+  try {
+    validatePassword(pw);
+  } catch (...) {
+    obs::count(obs::Counter::OnlineAcceptInvalid);
+    throw;
+  }
   shards_[StringHash{}(pw) % shards_.size()].push(pw, n);
   accepted_.fetch_add(n, std::memory_order_relaxed);
+  obs::count(obs::Counter::OnlineAccepted, n);
   const std::uint64_t pending =
       pendingApprox_.fetch_add(n, std::memory_order_relaxed) + n;
+  obs::gaugeSet(obs::Gauge::OnlineQueueDepth,
+                static_cast<std::int64_t>(pending));
   if (config_.backgroundCompactor && pending >= config_.maxPendingUpdates) {
     wakeCv_.notifyOne();
   }
@@ -151,6 +161,7 @@ OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
   // iteration), which is fine: counting is order-independent and the
   // artifact writer serializes canonically, so the emitted bytes do not
   // depend on it.
+  obs::StageTimer drainSpan(obs::Histo::OnlineCompactDrain);
   std::vector<Dataset::Entry> entries;
   for (auto& shard : shards_) {
     for (auto& [pw, n] : shard.drain()) {
@@ -158,30 +169,45 @@ OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
       entries.push_back(Dataset::Entry{std::move(pw), n});
     }
   }
-  if (entries.empty()) return res;
-  pendingApprox_.fetch_sub(res.folded, std::memory_order_relaxed);
+  if (entries.empty()) {
+    drainSpan.cancel();  // no work item — an empty drain is not a sample
+    return res;
+  }
+  drainSpan.stop();
+  const std::uint64_t left =
+      pendingApprox_.fetch_sub(res.folded, std::memory_order_relaxed) -
+      res.folded;
+  obs::gaugeSet(obs::Gauge::OnlineQueueDepth, static_cast<std::int64_t>(left));
   compactions_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::Counter::OnlineCompactions);
 
   // Parse the batch into a delta and merge it into a COPY of the
   // cumulative counts. base_ itself is only advanced after the gates pass,
-  // so a rollback needs no undo.
+  // so a rollback needs no undo. The train span covers both: parse-side
+  // detail is broken out by the train.* histograms one layer down.
+  obs::StageTimer trainSpan(obs::Histo::OnlineCompactTrain);
   TrainOptions topts;
   topts.threads = config_.compactionThreads;
   const GrammarCounts delta =
       ShardedTrainer(base_, topts).countEntries(entries);
   GrammarCounts merged = base_.counts();
   merged.merge(delta);
+  trainSpan.stop();
 
+  obs::StageTimer writeSpan(obs::Histo::OnlineCompactWrite);
   std::ostringstream artifactBytes(std::ios::binary);
   writeArtifact(artifactBytes, base_.config(), base_.baseWords(),
                 base_.baseDictionary(), base_.reversedDictionary(), merged);
   const std::string bytes = artifactBytes.str();
   res.sequence = log_.append(bytes.data(), bytes.size());
+  writeSpan.stop();
 
   try {
     // Gate 1: byte-level validation, through the same loader a restart
     // would use — if this process cannot reopen what it just wrote, no
-    // future process can either.
+    // future process can either. A gate that throws still records its
+    // span (the stage ran and failed).
+    obs::StageTimer gateSpan(obs::Histo::OnlineCompactGate);
     auto artifact = GrammarArtifact::open(log_.pathFor(res.sequence));
     // Gate 2: semantic lint, then the caller's extra acceptance policy.
     if (config_.lintGate) {
@@ -190,12 +216,15 @@ OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
       if (!lint.ok()) throw GrammarLintError(std::move(lint));
     }
     if (config_.publishGate) config_.publishGate(artifact->grammar());
+    gateSpan.stop();
     // Gate 3: the RCU flip (MeterService re-lints under its own config;
     // readers never observe a grammar that failed either gate).
+    obs::StageTimer publishSpan(obs::Histo::OnlineCompactPublish);
     res.generation = service_->publishFromArtifact(std::move(artifact));
     res.published = true;
     base_.absorbCounts(delta);
     published_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(obs::Counter::OnlinePublished);
     lastSequence_.store(res.sequence, std::memory_order_relaxed);
   } catch (const Error& e) {
     // Rollback: cumulative counts untouched, previous snapshot keeps
@@ -204,6 +233,8 @@ OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
     // deterministically produces a rejected grammar would wedge the loop.
     rollbacks_.fetch_add(1, std::memory_order_relaxed);
     quarantined_.fetch_add(res.folded, std::memory_order_relaxed);
+    obs::count(obs::Counter::OnlineGateRejections);
+    obs::count(obs::Counter::OnlineQuarantined, res.folded);
     res.rejection = e.what();
   }
   return res;

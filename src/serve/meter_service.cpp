@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "train/sharded_trainer.h"
 #include "util/chars.h"
 #include "util/check.h"
@@ -57,6 +59,8 @@ MeterService::~MeterService() {
 
 MeterService::Score MeterService::score(std::string_view pw) const {
   scoreCount_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::Counter::ServeScoreCalls);
+  obs::StageTimer span(obs::Histo::ServeScoreLatency);
   const auto snap = current_.load();
   const std::uint64_t gen = snap->generation();
   if (config_.cacheCapacity > 0) {
@@ -74,6 +78,10 @@ MeterService::Score MeterService::score(std::string_view pw) const {
 std::vector<MeterService::Score> MeterService::scoreBatch(
     const std::vector<std::string>& pws, unsigned requestedThreads) const {
   scoreCount_.fetch_add(pws.size(), std::memory_order_relaxed);
+  obs::count(obs::Counter::ServeBatchCalls);
+  obs::count(obs::Counter::ServeBatchPasswords, pws.size());
+  obs::observe(obs::Histo::ServeBatchSize, pws.size());
+  obs::StageTimer span(obs::Histo::ServeBatchLatency);
   // One snapshot for the whole batch: every result shares a generation, so
   // a publish landing mid-batch cannot mix two grammars in one response.
   // The RCU pin, the cache probes, and the parser setup are each paid once
@@ -130,8 +138,14 @@ std::vector<MeterService::Score> MeterService::scoreBatch(
 
 void MeterService::update(std::string_view pw, std::uint64_t n) {
   if (n == 0) return;
-  validatePassword(pw);
+  try {
+    validatePassword(pw);
+  } catch (...) {
+    obs::count(obs::Counter::ServeUpdatesInvalid);
+    throw;
+  }
   updateCount_.fetch_add(n, std::memory_order_relaxed);
+  obs::count(obs::Counter::ServeUpdatesAccepted, n);
   // With a sink installed (OnlineUpdater's durable loop), forward instead
   // of queueing: the fold then happens at the sink's compaction cadence
   // and every published generation is log-backed. The pin keeps a
@@ -154,6 +168,7 @@ void MeterService::setUpdateSink(UpdateSink sink) {
 
 std::uint64_t MeterService::applyAndPublishLocked(
     const UpdateQueue::Batch& batch) {
+  obs::StageTimer span(obs::Histo::ServePublishLatency);
   if (coldArtifact_) {
     // First mutating publish after an artifact cold start / rollout: pay
     // the one-time materialization now, off the reader path.
@@ -176,8 +191,16 @@ std::uint64_t MeterService::applyAndPublishLocked(
   // throw NotTrained, so treat it as corruption rather than continue.
   FPSM_CHECK(master_.trained());
   const std::uint64_t gen = nextGeneration_++;
-  current_.store(GrammarSnapshot::freeze(master_, gen));
+  // exchange() hands back the displaced snapshot: counting it here is the
+  // RCU retire event (readers may still pin it; memory frees when the last
+  // reference drops, so retired-vs-published is the reclamation backlog).
+  const auto retired = current_.exchange(GrammarSnapshot::freeze(master_, gen));
+  if (retired) {
+    obs::count(obs::Counter::ServeSnapshotsRetired);
+  }
   publishCount_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::Counter::ServePublishes);
+  obs::gaugeSet(obs::Gauge::ServeGeneration, static_cast<std::int64_t>(gen));
   return gen;
 }
 
@@ -205,8 +228,14 @@ std::uint64_t MeterService::publishFromArtifact(
   ++nextGeneration_;
   coldArtifact_ = std::move(artifact);
   master_ = FuzzyPsm();  // release the superseded grammar's memory
-  current_.store(std::move(snapshot));
+  const auto retired = current_.exchange(std::move(snapshot));
+  if (retired) {
+    obs::count(obs::Counter::ServeSnapshotsRetired);
+  }
   publishCount_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(obs::Counter::ServePublishes);
+  obs::count(obs::Counter::ServeArtifactRollouts);
+  obs::gaugeSet(obs::Gauge::ServeGeneration, static_cast<std::int64_t>(gen));
   return gen;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fpsm {
@@ -24,44 +25,70 @@ ScoreCache::Shard& ScoreCache::shardFor(std::string_view pw) const {
 std::optional<double> ScoreCache::lookup(std::uint64_t generation,
                                          std::string_view pw) const {
   Shard& shard = shardFor(pw);
-  const MutexLock lock(shard.mutex);
-  const auto it = shard.index.find(pw);
-  if (it == shard.index.end()) {
-    ++shard.stats.misses;
-    return std::nullopt;
+  std::optional<double> result;
+  bool stale = false;
+  {
+    const MutexLock lock(shard.mutex);
+    const auto it = shard.index.find(pw);
+    if (it == shard.index.end()) {
+      ++shard.stats.misses;
+    } else if (it->second->generation != generation) {
+      // Stale: computed under a retired snapshot. Evict rather than serve —
+      // the caller will recompute under its own generation and re-insert.
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.stats.misses;
+      ++shard.stats.staleEvictions;
+      stale = true;
+    } else {
+      // Refresh recency: splice the entry to the front of the LRU list.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.stats.hits;
+      result = it->second->bits;
+    }
   }
-  if (it->second->generation != generation) {
-    // Stale: computed under a retired snapshot. Evict rather than serve —
-    // the caller will recompute under its own generation and re-insert.
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-    ++shard.stats.misses;
-    ++shard.stats.staleEvictions;
-    return std::nullopt;
+  // Process-wide metrics stay outside the shard critical section (R008).
+  if (result) {
+    obs::count(obs::Counter::ServeCacheHits);
+  } else {
+    obs::count(obs::Counter::ServeCacheMisses);
   }
-  // Refresh recency: splice the entry to the front of the LRU list.
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  ++shard.stats.hits;
-  return it->second->bits;
+  if (stale) {
+    obs::count(obs::Counter::ServeCacheStaleEvictions);
+  }
+  return result;
 }
 
 void ScoreCache::insert(std::uint64_t generation, std::string_view pw,
                         double bits) {
   Shard& shard = shardFor(pw);
-  const MutexLock lock(shard.mutex);
-  const auto it = shard.index.find(pw);
-  if (it != shard.index.end()) {
-    it->second->generation = generation;
-    it->second->bits = bits;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  bool inserted = false;
+  bool evicted = false;
+  {
+    const MutexLock lock(shard.mutex);
+    const auto it = shard.index.find(pw);
+    if (it != shard.index.end()) {
+      it->second->generation = generation;
+      it->second->bits = bits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      if (shard.lru.size() >= perShardCapacity_) {
+        shard.index.erase(shard.lru.back().password);
+        shard.lru.pop_back();
+        ++shard.stats.capacityEvictions;
+        evicted = true;
+      }
+      shard.lru.push_front(Entry{std::string(pw), generation, bits});
+      shard.index.emplace(shard.lru.front().password, shard.lru.begin());
+      inserted = true;
+    }
   }
-  if (shard.lru.size() >= perShardCapacity_) {
-    shard.index.erase(shard.lru.back().password);
-    shard.lru.pop_back();
+  if (inserted) {
+    obs::count(obs::Counter::ServeCacheInserts);
   }
-  shard.lru.push_front(Entry{std::string(pw), generation, bits});
-  shard.index.emplace(shard.lru.front().password, shard.lru.begin());
+  if (evicted) {
+    obs::count(obs::Counter::ServeCacheCapacityEvictions);
+  }
 }
 
 std::size_t ScoreCache::size() const {
@@ -80,6 +107,7 @@ ScoreCache::Stats ScoreCache::stats() const {
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.staleEvictions += shard->stats.staleEvictions;
+    total.capacityEvictions += shard->stats.capacityEvictions;
   }
   return total;
 }

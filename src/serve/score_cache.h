@@ -35,6 +35,7 @@ class ScoreCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t staleEvictions = 0;
+    std::uint64_t capacityEvictions = 0;
     double hitRate() const {
       const double total = static_cast<double>(hits + misses);
       return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;

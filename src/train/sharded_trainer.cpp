@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "analysis/grammar_lint.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "util/parallel.h"
 
 namespace fpsm {
@@ -14,10 +16,16 @@ void ShardedTrainer::countInto(const std::vector<Dataset::Entry>& entries,
                                GrammarCounts& into) const {
   const std::size_t n = entries.size();
   if (n == 0) return;
+  obs::count(obs::Counter::TrainChunks);
+  obs::count(obs::Counter::TrainEntries, n);
   const unsigned workers = parallelWorkerCount(n, options_.threads);
   const bool countReverse = base_.config().matchReverse;
 
   std::vector<GrammarCounts> shards(workers);
+  // Stage spans bracket the two halves of the pipeline — the parallel
+  // shard parse and the sequential merge — so bench_train_parallel (and a
+  // metrics dump from any training run) can localize where wall time goes.
+  obs::StageTimer parseSpan(obs::Histo::TrainShardParse);
   // One task per worker, each over a contiguous slice: a worker builds its
   // shard with a single parser instance and no synchronization. The shared
   // tries are only read (Trie lookups are const with no mutable caches),
@@ -39,6 +47,7 @@ void ShardedTrainer::countInto(const std::vector<Dataset::Entry>& entries,
         }
       },
       workers);
+  parseSpan.stop();
 
   if (options_.lintShards) {
     const GrammarValidator validator;
@@ -52,6 +61,7 @@ void ShardedTrainer::countInto(const std::vector<Dataset::Entry>& entries,
   // Merge in worker-index order. The order is irrelevant for the result
   // (merge is commutative/associative) but fixing it keeps the code path
   // itself deterministic.
+  obs::StageTimer mergeSpan(obs::Histo::TrainMerge);
   for (const GrammarCounts& shard : shards) into.merge(shard);
 }
 

@@ -1,0 +1,32 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. Metric-update call sites that share a line with a raw clock read
+// or an allocation: fpsm_lint must report R008 metric-site-side-effect
+// (and exit non-zero) on this file, which is the self-test proving the
+// linter enforces the src/obs hot-path budget of one relaxed atomic add
+// per event (DESIGN.md §14).
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fpsm_lint_seed {
+
+namespace obs = fpsm::obs;
+using std::chrono::steady_clock;
+
+inline std::uint64_t us(steady_clock::time_point t);
+
+// Raw clock read on the metric line — latency spans must go through
+// obs::StageTimer, the one audited clock/metric pairing.
+inline void recordRawClockLatency(std::uint64_t t0) {
+  obs::observe(obs::Histo::ServeScoreLatency, us(steady_clock::now()) - t0);
+}
+
+// Allocation on the metric line — the temporary std::string pays a heap
+// round trip per event, busting the relaxed-atomic-add budget.
+inline void countAllocatingKey(const char* key) {
+  obs::count(obs::Counter::ServeCacheHits, std::string(key).size());
+}
+
+}  // namespace fpsm_lint_seed

@@ -27,6 +27,13 @@
 //                               class with no FPSM_ annotation (use
 //                               FPSM_NO_CAPABILITY to state "touches no
 //                               guarded state" explicitly)
+//   R008 metric-site-side-effect  a metric-update call site (obs::count /
+//                               gaugeSet / gaugeAdd / observe / StageTimer)
+//                               outside src/obs/ sharing a line with a raw
+//                               clock read, a lock token, or an allocation
+//                               — the "one relaxed atomic add per event"
+//                               hot-path budget (DESIGN.md §14), made
+//                               mechanical
 //
 // False positives are expected occasionally — that is what the suppression
 // file is for: `rule path-suffix [line-substring]` per line, checked in
@@ -153,6 +160,13 @@ bool isUtilPath(const std::string& path) {
          path.find("util\\") != std::string::npos;
 }
 
+// The exemption is anchored to src/obs/ specifically: the seeded R008
+// fixture lives under tests/lint_tool/seed/obs/ and must still be scanned.
+bool isObsPath(const std::string& path) {
+  return path.find("src/obs/") != std::string::npos ||
+         path.find("src\\obs\\") != std::string::npos;
+}
+
 // ---------------------------------------------------------------------------
 // Class-structure scanner for R006/R007. A tiny brace-tracking pass over the
 // blanked code: every '{' opens a scope, a scope whose opening statement
@@ -274,6 +288,14 @@ const std::regex kRawArrayNew(R"((^|[^\w_])new\s+[\w:<>,\s]*\[)");
 const std::regex kLockToken(
     R"(\b(MutexLock|ReaderLock|WriterLock|SharedMutex|Mutex|CondVar)\b|std::(mutex|shared_mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_lock)\b|(\.|->)lock(Shared)?\(\))");
 const std::regex kNarrowCast(R"(static_cast<std::uint(8|16|32)_t>)");
+// R008: a metric update must be the only interesting thing on its line.
+// Clock reads belong inside obs::StageTimer (src/obs/stage_timer.h, the
+// one audited pairing), and locks/allocation on the same line mean the
+// metric call sits inside a critical section or pays for a temporary.
+const std::regex kMetricUpdate(
+    R"(\bobs::(count|gaugeSet|gaugeAdd|observe|StageTimer)\b)");
+const std::regex kMetricSiteBan(
+    R"((steady_clock|system_clock|high_resolution_clock)::now|(^|[^\w_])new\s|make_unique|make_shared|std::string\s*\(|\.str\(\))");
 const std::regex kCastGuard(
     R"(FPSM_CHECK|FPSM_DCHECK|\bthrow\b|static_assert)");
 const std::regex kMutexMember(
@@ -346,6 +368,16 @@ class Linter {
               "0xffffffffull)) so a too-large grammar fails loudly instead "
               "of truncating");
         }
+      }
+      if (!isObsPath(file.path) && std::regex_search(code, kMetricUpdate) &&
+          (std::regex_search(code, kMetricSiteBan) ||
+           std::regex_search(code, kLockToken))) {
+        add(file, li, "R008", "metric-site-side-effect",
+            "metric-update call site shares a line with a clock read, lock "
+            "token, or allocation",
+            "keep the obs:: call on its own line — time spans with "
+            "obs::StageTimer, move the call outside the critical section, "
+            "and precompute any value that needs allocation");
       }
       if (code.find("FPSM_NO_THREAD_SAFETY_ANALYSIS") != std::string::npos &&
           file.path.find("thread_annotations.h") == std::string::npos) {
@@ -511,7 +543,9 @@ void listRules() {
       << "R006 unannotated-guarded-field  unguarded field in Mutex-holding "
          "class\n"
       << "R007 unannotated-public-method  unannotated public method on "
-         "Mutex-holding class\n";
+         "Mutex-holding class\n"
+      << "R008 metric-site-side-effect  clock/lock/allocation on a "
+         "metric-update line outside src/obs/\n";
 }
 
 int usage() {

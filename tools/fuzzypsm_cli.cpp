@@ -29,6 +29,7 @@
 //
 //   fuzzypsm serve-bench --grammar GRAMMAR [--threads N] [--duration-ms MS]
 //            [--pool N] [--seed S] [--batch N] [--json FILE]
+//            [--metrics-dump FILE]
 //       Stand up a MeterService and drive mixed traffic: N reader threads
 //       score passwords sampled from the grammar while a writer floods
 //       update() and the background publisher swaps snapshots. Prints
@@ -37,6 +38,20 @@
 //       passwords instead of single score() calls and the report adds
 //       per-call p50/p95/p99 latency. --json FILE additionally writes the
 //       results machine-readable (same shape as BENCH_serve.json).
+//       --metrics-dump FILE writes the process-wide metrics snapshot
+//       (src/obs, DESIGN.md §14) after the run — readable later with
+//       `fuzzypsm stats --file FILE`.
+//
+//   fuzzypsm stats (--file DUMP.json | --grammar GRAMMAR [PW...]) [--json]
+//       Render a metrics snapshot. With --file, re-render a dump written
+//       by --metrics-dump (the line-oriented JSON format of DESIGN.md §14)
+//       as a human-readable table, or echo it verbatim with --json. With
+//       --grammar, run a small worked example — score the given passwords
+//       (or a few sampled from the grammar) twice through a MeterService
+//       plus one scoreBatch call — and print the live snapshot, showing
+//       cache hits/misses and latency histograms end to end. Under a
+//       FPSM_METRICS=OFF build every metric renders as zero; the shape of
+//       both outputs is identical.
 //
 //   fuzzypsm compile --grammar GRAMMAR --out FILE.fpsmb
 //   fuzzypsm compile --base BASE.txt --training TRAIN.txt --out FILE.fpsmb
@@ -60,6 +75,7 @@
 //   fuzzypsm update-loop --log DIR --stream FILE
 //            (--grammar GRAMMAR | --base BASE.txt --training TRAIN.txt)
 //            [--compact-every N] [--threads N] [--no-lint]
+//            [--metrics-dump FILE]
 //       Drive the streaming adaptive loop (src/online): bootstrap a
 //       generation log at DIR from the given grammar (or resume if DIR
 //       already has generations — then the grammar/corpus options are
@@ -70,13 +86,17 @@
 //       rejected generations roll back and are reported. Prints the final
 //       published sequence. The run is deterministic: the same inputs and
 //       cadence produce byte-identical generations at any --threads.
+//       --metrics-dump FILE writes the metrics snapshot after the run
+//       (online.compact.* stage latencies, gate rejections, queue depth).
 //
-//   fuzzypsm log inspect --dir DIR [--verify]
+//   fuzzypsm log inspect --dir DIR [--verify] [--json]
 //       Print a generation log's manifest — sequence, file, size, checksum
 //       per committed generation — plus anything recovery had to skip
 //       (torn tail line, quarantined generations). --verify re-checksums
-//       every generation file from scratch. Exit code 1 if recovery
-//       skipped anything or verification found damage, else 0.
+//       every generation file from scratch; --json emits the same facts
+//       machine-readable (sequence, bytes, checksum, per-entry status, and
+//       every skip's reason/detail). Exit code 1 if recovery skipped
+//       anything or verification found damage, else 0.
 //
 // Every command taking --grammar accepts both the text format and a
 // compiled .fpsmb artifact; the file type is sniffed from the leading
@@ -85,10 +105,12 @@
 // (util/parallel.h). -o is shorthand for --out.
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -105,6 +127,7 @@
 #include "corpus/io.h"
 #include "model/buckets.h"
 #include "model/montecarlo.h"
+#include "obs/metrics.h"
 #include "online/generation_log.h"
 #include "online/online_updater.h"
 #include "synth/generator.h"
@@ -369,6 +392,45 @@ int cmdGenerate(const Args& args) {
   return 0;
 }
 
+/// --metrics-dump FILE: write the process-wide metrics snapshot as the
+/// line-oriented JSON of DESIGN.md §14. No-op when the option is absent.
+/// Under FPSM_METRICS=OFF builds the dump still has every metric listed
+/// (all zero), so downstream tooling sees a stable shape.
+void maybeWriteMetricsDump(const Args& args) {
+  const std::string path = args.option("metrics-dump");
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot write metrics dump: " + path);
+  out << obs::snapshot().renderJson();
+  out.flush();
+  if (!out) throw IoError("write to " + path + " failed");
+  std::fprintf(stderr, "metrics dump written to %s\n", path.c_str());
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 /// Nearest-rank percentile over a sorted sample (q in [0, 1]).
 double percentileUs(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -508,6 +570,7 @@ int cmdServeBench(const Args& args) {
     json << "}\n";
     std::fprintf(stderr, "wrote %s\n", jsonPath.c_str());
   }
+  maybeWriteMetricsDump(args);
   return 0;
 }
 
@@ -605,6 +668,108 @@ int cmdLintGrammar(const Args& args) {
   return static_cast<int>(report.worst());
 }
 
+/// Pulls one field out of a single metric line of the DESIGN.md §14 dump
+/// format ("key": 123 or "key": "text"). The format writes one metric
+/// object per line precisely so this kind of line-oriented extraction
+/// works without a JSON parser.
+std::optional<std::string> dumpField(const std::string& line,
+                                     const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t v = pos + needle.size();
+  if (v >= line.size()) return std::nullopt;
+  if (line[v] == '"') {
+    const auto end = line.find('"', v + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(v + 1, end - v - 1);
+  }
+  std::size_t end = v;
+  while (end < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[end])) ||
+          line[end] == '-')) {
+    ++end;
+  }
+  if (end == v) return std::nullopt;
+  return line.substr(v, end - v);
+}
+
+int renderDumpFile(const std::string& path, bool wantJson) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open metrics dump: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.find('{') == std::string::npos) {
+    throw InvalidArgument("not a fuzzypsm metrics dump: " + path);
+  }
+  if (!std::getline(in, line) ||
+      line.find("\"fuzzypsm_metrics\"") == std::string::npos) {
+    throw InvalidArgument("not a fuzzypsm metrics dump: " + path);
+  }
+  if (wantJson) {
+    // Echo the dump verbatim: it is already the machine-readable form.
+    std::ifstream whole(path);
+    std::printf("%s", std::string(std::istreambuf_iterator<char>(whole),
+                                  std::istreambuf_iterator<char>())
+                          .c_str());
+    return 0;
+  }
+  std::printf("metrics dump: %s\n", path.c_str());
+  std::size_t metrics = 0;
+  while (std::getline(in, line)) {
+    const auto name = dumpField(line, "name");
+    const auto type = dumpField(line, "type");
+    if (!name || !type) continue;
+    ++metrics;
+    if (*type == "histogram") {
+      std::printf(
+          "%-10s %-34s count=%s sum=%s p50<=%s p95<=%s p99<=%s (%s)\n",
+          type->c_str(), name->c_str(),
+          dumpField(line, "count").value_or("?").c_str(),
+          dumpField(line, "sum").value_or("?").c_str(),
+          dumpField(line, "p50").value_or("?").c_str(),
+          dumpField(line, "p95").value_or("?").c_str(),
+          dumpField(line, "p99").value_or("?").c_str(),
+          dumpField(line, "unit").value_or("?").c_str());
+    } else {
+      std::printf("%-10s %-34s %12s\n", type->c_str(), name->c_str(),
+                  dumpField(line, "value").value_or("?").c_str());
+    }
+  }
+  if (metrics == 0) {
+    throw InvalidArgument("metrics dump has no metric rows: " + path);
+  }
+  std::printf("(%zu metrics)\n", metrics);
+  return 0;
+}
+
+int cmdStats(const Args& args) {
+  const bool wantJson = args.flag("json");
+  if (const std::string file = args.option("file"); !file.empty()) {
+    return renderDumpFile(file, wantJson);
+  }
+
+  // Live worked example (README "Observability"): drive a MeterService
+  // with a handful of passwords — two single-score passes so the second
+  // one hits the cache, plus one scoreBatch call — then print the
+  // process-wide snapshot those calls populated.
+  FuzzyPsm psm = loadGrammar(args);
+  std::vector<std::string> pws = args.positional;
+  if (pws.empty()) {
+    Rng rng(std::stoull(args.option("seed", "7")));
+    for (int i = 0; i < 8; ++i) pws.push_back(psm.sample(rng));
+  }
+  MeterServiceConfig cfg;
+  MeterService service(std::move(psm), cfg);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& pw : pws) (void)service.score(pw);
+  }
+  (void)service.scoreBatch(pws);
+
+  const obs::MetricsSnapshot snap = obs::snapshot();
+  std::printf("%s", (wantJson ? snap.renderJson() : snap.renderText()).c_str());
+  return 0;
+}
+
 int cmdUpdateLoop(const Args& args) {
   const std::string dir = args.requiredOption("log");
   const std::string streamPath = args.requiredOption("stream");
@@ -700,17 +865,79 @@ int cmdUpdateLoop(const Args& args) {
   std::printf("serving sequence %llu (%s)\n",
               static_cast<unsigned long long>(stats.lastSequence),
               updater->log().pathFor(stats.lastSequence).c_str());
+  maybeWriteMetricsDump(args);
   return stats.rollbacks == 0 ? 0 : 1;
 }
 
 int cmdLog(const Args& args) {
   if (args.positional.empty() || args.positional[0] != "inspect") {
-    throw InvalidArgument("usage: fuzzypsm log inspect --dir DIR [--verify]");
+    throw InvalidArgument(
+        "usage: fuzzypsm log inspect --dir DIR [--verify] [--json]");
   }
   const std::string dir = args.requiredOption("dir");
+  const bool verify = args.flag("verify");
 
   RecoveryReport report;
   GenerationLog log(dir, &report);
+  RecoveryReport verifyReport;
+  if (verify) verifyReport = log.verify();
+  const bool damaged = !report.clean() || !verifyReport.clean();
+
+  // Per-entry checksum status: verified damage wins over "ok"; without
+  // --verify the status reflects the open-time recovery checksums.
+  const auto statusOf = [&](const GenerationEntry& e) -> std::string {
+    for (const RecoverySkip& skip : verifyReport.skipped) {
+      if (skip.sequence == e.sequence) {
+        return recoverySkipReasonName(skip.reason);
+      }
+    }
+    return "ok";
+  };
+
+  if (args.flag("json")) {
+    // Same layout discipline as the metrics dump (DESIGN.md §14): one
+    // generation / one skip per line, still a single JSON document.
+    std::printf("{\n");
+    std::printf("  \"generation_log\": \"%s\",\n",
+                jsonEscape(log.directory()).c_str());
+    std::printf("  \"next_sequence\": %llu,\n",
+                static_cast<unsigned long long>(log.nextSequence()));
+    std::printf("  \"verified\": %s,\n", verify ? "true" : "false");
+    std::printf("  \"generations\": [\n");
+    for (std::size_t i = 0; i < log.entries().size(); ++i) {
+      const GenerationEntry& e = log.entries()[i];
+      std::printf(
+          "    {\"sequence\": %llu, \"file\": \"%s\", \"bytes\": %llu, "
+          "\"checksum\": \"%016llx\", \"status\": \"%s\"}%s\n",
+          static_cast<unsigned long long>(e.sequence),
+          jsonEscape(e.file).c_str(),
+          static_cast<unsigned long long>(e.bytes),
+          static_cast<unsigned long long>(e.checksum), statusOf(e).c_str(),
+          i + 1 < log.entries().size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"recovery_skips\": [\n");
+    std::vector<std::pair<const char*, const RecoverySkip*>> skips;
+    for (const RecoverySkip& s : report.skipped) {
+      skips.push_back({"recovery", &s});
+    }
+    for (const RecoverySkip& s : verifyReport.skipped) {
+      skips.push_back({"verify", &s});
+    }
+    for (std::size_t i = 0; i < skips.size(); ++i) {
+      const RecoverySkip& s = *skips[i].second;
+      std::printf(
+          "    {\"phase\": \"%s\", \"reason\": \"%s\", \"sequence\": %llu, "
+          "\"detail\": \"%s\"}%s\n",
+          skips[i].first, recoverySkipReasonName(s.reason),
+          static_cast<unsigned long long>(s.sequence),
+          jsonEscape(s.detail).c_str(), i + 1 < skips.size() ? "," : "");
+    }
+    std::printf("  ]\n");
+    std::printf("}\n");
+    return damaged ? 1 : 0;
+  }
+
   std::printf("generation log: %s\n", log.directory().c_str());
   std::printf("%-8s %-18s %12s  %s\n", "seq", "file", "bytes", "checksum");
   for (const GenerationEntry& e : log.entries()) {
@@ -722,16 +949,12 @@ int cmdLog(const Args& args) {
   std::printf("next sequence: %llu\n",
               static_cast<unsigned long long>(log.nextSequence()));
 
-  bool damaged = !report.clean();
-  if (damaged) std::printf("%s", report.render().c_str());
-
-  if (args.flag("verify")) {
-    RecoveryReport verify = log.verify();
-    if (verify.clean()) {
+  if (!report.clean()) std::printf("%s", report.render().c_str());
+  if (verify) {
+    if (verifyReport.clean()) {
       std::printf("verify: all %zu generations intact\n", log.entries().size());
     } else {
-      std::printf("%s", verify.render().c_str());
-      damaged = true;
+      std::printf("%s", verifyReport.render().c_str());
     }
   }
   return damaged ? 1 : 0;
@@ -740,7 +963,7 @@ int cmdLog(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: fuzzypsm <train|measure|suggest|explain|guesses|"
-               "generate|serve-bench|compile|inspect|lint-grammar|"
+               "generate|serve-bench|stats|compile|inspect|lint-grammar|"
                "update-loop|log> [options]\n"
                "see the header of tools/fuzzypsm_cli.cpp for details\n");
   return 2;
@@ -759,6 +982,7 @@ int main(int argc, char** argv) {
     if (args.command == "guesses") return cmdGuesses(args);
     if (args.command == "generate") return cmdGenerate(args);
     if (args.command == "serve-bench") return cmdServeBench(args);
+    if (args.command == "stats") return cmdStats(args);
     if (args.command == "compile") return cmdCompile(args);
     if (args.command == "inspect") return cmdInspect(args);
     if (args.command == "lint-grammar") return cmdLintGrammar(args);
