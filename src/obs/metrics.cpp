@@ -32,8 +32,15 @@ constexpr const char* kCounterNames[] = {
     "online.quarantine.occurrences",
     "genlog.append.count",
     "genlog.recovery.skips",
+    "genlog.gc.retired",
     "train.chunks",
     "train.entries",
+    "registry.routed.scores",
+    "registry.routed.updates",
+    "registry.cold_loads",
+    "registry.evictions",
+    "registry.evict.flushes",
+    "registry.routed.unknown_tenant",
 };
 static_assert(std::size(kCounterNames) == kCounterCount);
 
@@ -41,6 +48,9 @@ constexpr const char* kGaugeNames[] = {
     "serve.generation",
     "online.queue.depth",
     "genlog.generations",
+    "registry.tenants",
+    "registry.resident_tenants",
+    "registry.resident_bytes",
 };
 static_assert(std::size(kGaugeNames) == kGaugeCount);
 
@@ -58,12 +68,13 @@ constexpr const char* kHistoNames[] = {
     "train.read.chunk_us",
     "train.parse.chunk_us",
     "train.merge.chunk_us",
+    "registry.cold_load.latency_us",
 };
 static_assert(std::size(kHistoNames) == kHistoCount);
 
 constexpr const char* kHistoUnits[] = {
     "us", "us", "passwords", "us", "us", "us", "us",
-    "us", "us", "us",        "us", "us", "us",
+    "us", "us", "us",        "us", "us", "us", "us",
 };
 static_assert(std::size(kHistoUnits) == kHistoCount);
 

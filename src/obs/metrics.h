@@ -68,16 +68,26 @@ enum class Counter : std::uint16_t {
   OnlineQuarantined,          // online.quarantine.occurrences
   GenlogAppends,              // genlog.append.count
   GenlogRecoverySkips,        // genlog.recovery.skips
+  GenlogGcRetired,            // genlog.gc.retired
   TrainChunks,                // train.chunks
   TrainEntries,               // train.entries
+  RegistryScoresRouted,       // registry.routed.scores
+  RegistryUpdatesRouted,      // registry.routed.updates
+  RegistryColdLoads,          // registry.cold_loads
+  RegistryEvictions,          // registry.evictions
+  RegistryEvictFlushes,       // registry.evict.flushes
+  RegistryUnknownTenant,      // registry.routed.unknown_tenant
   kCount,
 };
 
 // Point-in-time levels (set/add, not monotonic).
 enum class Gauge : std::uint16_t {
-  ServeGeneration,    // serve.generation
-  OnlineQueueDepth,   // online.queue.depth
-  GenlogGenerations,  // genlog.generations
+  ServeGeneration,           // serve.generation
+  OnlineQueueDepth,          // online.queue.depth
+  GenlogGenerations,         // genlog.generations
+  RegistryTenants,           // registry.tenants
+  RegistryResidentTenants,   // registry.resident_tenants
+  RegistryResidentBytes,     // registry.resident_bytes
   kCount,
 };
 
@@ -96,6 +106,7 @@ enum class Histo : std::uint16_t {
   TrainReadChunk,       // train.read.chunk_us
   TrainShardParse,      // train.parse.chunk_us
   TrainMerge,           // train.merge.chunk_us
+  RegistryColdLoad,     // registry.cold_load.latency_us
   kCount,
 };
 

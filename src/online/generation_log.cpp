@@ -411,6 +411,73 @@ std::string GenerationLog::pathFor(std::uint64_t sequence) const {
   return (fs::path(directory_) / entry(sequence).file).string();
 }
 
+GenerationLog::GcResult GenerationLog::gc(std::size_t keep) {
+  if (keep == 0) {
+    throw InvalidArgument(
+        "GenerationLog: gc must keep at least one generation");
+  }
+  GcResult res;
+  if (entries_.empty()) return res;
+
+  const std::size_t keepCount = entries_.size() < keep ? entries_.size() : keep;
+  const std::size_t firstKept = entries_.size() - keepCount;
+  std::vector<GenerationEntry> kept(entries_.begin() +
+                                        static_cast<std::ptrdiff_t>(firstKept),
+                                    entries_.end());
+  const std::uint64_t keptFloor = kept.front().sequence;
+  res.kept = keepCount;
+  res.retired = firstKept;
+
+  // Step 1: move the commit authority first. The rewritten manifest lists
+  // exactly the kept entries (quarantined lines vanish with their window);
+  // the .tmp + rename protocol means a crash leaves one of the two valid
+  // manifests, never a blend — and a stray MANIFEST.tmp is swept by the
+  // next open like any other .tmp.
+  const fs::path tmpPath = manifestPath_ + ".tmp";
+  {
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    out << kManifestHeader << '\n';
+    for (const auto& entry : kept) out << formatEntryLine(entry);
+    out.flush();
+    if (!out) {
+      std::error_code rmEc;
+      fs::remove(tmpPath, rmEc);
+      throw GenerationLogError(
+          GenerationLogErrorCode::AppendFailed,
+          "GenerationLog: gc cannot write " + tmpPath.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmpPath, manifestPath_, ec);
+  if (ec) {
+    std::error_code rmEc;
+    fs::remove(tmpPath, rmEc);
+    throw GenerationLogError(
+        GenerationLogErrorCode::AppendFailed,
+        "GenerationLog: gc cannot replace manifest in " + directory_ + ": " +
+            ec.message());
+  }
+
+  // Step 2: now that no manifest line references them, delete every gen
+  // file strictly below the kept floor — retired committed generations,
+  // and any old orphans or quarantined files down there with them. A
+  // crash mid-loop leaves orphans the next gc reaps; sequences cannot be
+  // reused because every kept entry outranks everything deleted.
+  for (const auto& dirent : fs::directory_iterator(directory_, ec)) {
+    const std::uint64_t seq =
+        sequenceFromFileName(dirent.path().filename().string());
+    if (seq == 0 || seq >= keptFloor) continue;
+    std::error_code rmEc;
+    if (fs::remove(dirent.path(), rmEc) && !rmEc) ++res.removedFiles;
+  }
+
+  entries_ = std::move(kept);
+  obs::count(obs::Counter::GenlogGcRetired, res.retired);
+  obs::gaugeSet(obs::Gauge::GenlogGenerations,
+                static_cast<std::int64_t>(entries_.size()));
+  return res;
+}
+
 RecoveryReport GenerationLog::verify() const {
   RecoveryReport report;
   report.manifestLines = entries_.size();

@@ -149,6 +149,34 @@ class GenerationLog {
 
   const std::string& directory() const { return directory_; }
 
+  /// What one gc() pass did.
+  struct GcResult {
+    std::uint64_t kept = 0;          ///< committed entries still in the manifest
+    std::uint64_t retired = 0;       ///< committed entries dropped from it
+    std::uint64_t removedFiles = 0;  ///< gen-*.fpsmb files deleted from disk
+  };
+
+  /// Retires all but the newest `keep` committed generations — the
+  /// `fuzzypsm log gc --keep N` backend. Kept entries keep their original
+  /// sequence numbers (recovery requires strictly-increasing, not
+  /// 1-based), so nextSequence() is unchanged and the retention window
+  /// just slides.
+  ///
+  /// Crash-safe by the same authority rule as append: the manifest is
+  /// rewritten via MANIFEST.tmp + rename BEFORE any file is deleted, so a
+  /// crash leaves either the old manifest with every file intact (the
+  /// .tmp is swept at the next open) or the new manifest with some
+  /// already-retired files still on disk — orphans by the recovery rules,
+  /// deleted by the next gc pass. Files are only ever deleted below the
+  /// oldest KEPT sequence (this also reaps old orphans and quarantined
+  /// generations), so a committed entry can never lose its artifact.
+  ///
+  /// Throws InvalidArgument when keep == 0 (the newest generation is the
+  /// one being served; a log that discards it cannot resume) and
+  /// GenerationLogError(AppendFailed) on filesystem failure. No-op on an
+  /// empty log.
+  GcResult gc(std::size_t keep);
+
   /// Re-validates every committed entry's file from scratch (size +
   /// xxhash64) — the `fuzzypsm log inspect --verify` backend. The log
   /// itself is not modified.

@@ -46,8 +46,8 @@ std::unique_ptr<OnlineUpdater> OnlineUpdater::bootstrap(
       std::make_unique<MeterService>(std::move(artifact),
                                      servingConfig(config));
   return std::unique_ptr<OnlineUpdater>(
-      new OnlineUpdater(std::move(log), trained, std::move(service), seq,
-                        std::move(config)));
+      new OnlineUpdater(std::move(log), trained, nullptr, std::move(service),
+                        seq, std::move(config)));
 }
 
 std::unique_ptr<OnlineUpdater> OnlineUpdater::resume(
@@ -88,12 +88,14 @@ std::unique_ptr<OnlineUpdater> OnlineUpdater::resume(
       }
     }
     const std::uint64_t seq = it->sequence;
-    FuzzyPsm base = FuzzyPsm::fromArtifact(*artifact);
+    // Defer the FuzzyPsm materialization: the service scores the zero-copy
+    // artifact directly, and the cumulative counts are rebuilt from the
+    // same artifact only when the first compaction needs them. This keeps
+    // resume() — the GrammarRegistry's cold-load path — at mmap cost.
     auto service =
-        std::make_unique<MeterService>(std::move(artifact),
-                                       servingConfig(config));
+        std::make_unique<MeterService>(artifact, servingConfig(config));
     return std::unique_ptr<OnlineUpdater>(
-        new OnlineUpdater(std::move(log), std::move(base),
+        new OnlineUpdater(std::move(log), FuzzyPsm(), std::move(artifact),
                           std::move(service), seq, std::move(config)));
   }
   throw GenerationLogError(
@@ -102,12 +104,14 @@ std::unique_ptr<OnlineUpdater> OnlineUpdater::resume(
 }
 
 OnlineUpdater::OnlineUpdater(GenerationLog log, FuzzyPsm base,
+                             std::shared_ptr<const GrammarArtifact> deferredBase,
                              std::unique_ptr<MeterService> service,
                              std::uint64_t servedSequence,
                              OnlineUpdaterConfig config)
     : config_(std::move(config)),
       log_(std::move(log)),
       base_(std::move(base)),
+      baseArtifact_(std::move(deferredBase)),
       service_(std::move(service)),
       shards_(config_.deltaShards == 0 ? 1 : config_.deltaShards) {
   lastSequence_.store(servedSequence, std::memory_order_relaxed);
@@ -153,6 +157,12 @@ void OnlineUpdater::accept(std::string_view pw, std::uint64_t n) {
   }
 }
 
+void OnlineUpdater::materializeBaseLocked() {
+  if (!baseArtifact_) return;
+  base_ = FuzzyPsm::fromArtifact(*baseArtifact_);
+  baseArtifact_.reset();
+}
+
 OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
   const MutexLock lock(compactionMutex_);
   CompactionResult res;
@@ -180,6 +190,11 @@ OnlineUpdater::CompactionResult OnlineUpdater::compactNow() {
   obs::gaugeSet(obs::Gauge::OnlineQueueDepth, static_cast<std::int64_t>(left));
   compactions_.fetch_add(1, std::memory_order_relaxed);
   obs::count(obs::Counter::OnlineCompactions);
+
+  // A deferred-base updater (resume / registry cold load) pays the
+  // one-time materialization here, at the first compaction that actually
+  // needs cumulative counts — never on the serve or cold-load path.
+  materializeBaseLocked();
 
   // Parse the batch into a delta and merge it into a COPY of the
   // cumulative counts. base_ itself is only advanced after the gates pass,

@@ -193,10 +193,14 @@ class OnlineUpdater {
 
  private:
   OnlineUpdater(GenerationLog log, FuzzyPsm base,
+                std::shared_ptr<const GrammarArtifact> deferredBase,
                 std::unique_ptr<MeterService> service,
                 std::uint64_t servedSequence, OnlineUpdaterConfig config);
 
   void compactorLoop() FPSM_EXCLUDES(compactionMutex_);
+  /// Pays the one-time FuzzyPsm materialization for a deferred-base
+  /// updater (see baseArtifact_). No-op once base_ is live.
+  void materializeBaseLocked() FPSM_REQUIRES(compactionMutex_);
 
   const OnlineUpdaterConfig config_;  // immutable after construction
 
@@ -206,6 +210,12 @@ class OnlineUpdater {
   mutable Mutex compactionMutex_;
   GenerationLog log_ FPSM_GUARDED_BY(compactionMutex_);
   FuzzyPsm base_ FPSM_GUARDED_BY(compactionMutex_);
+  // resume() defers the expensive FuzzyPsm::fromArtifact rebuild: until the
+  // first compaction needs cumulative counts, the base stays this zero-copy
+  // artifact and base_ is empty. That keeps a registry cold-load (which is
+  // a resume()) at mmap cost, not materialization cost.
+  std::shared_ptr<const GrammarArtifact> baseArtifact_
+      FPSM_GUARDED_BY(compactionMutex_) FPSM_PT_GUARDED_BY(compactionMutex_);
 
   std::unique_ptr<MeterService> service_;  // internally synchronized
 

@@ -106,6 +106,15 @@ class GrammarSnapshot {
   /// True for artifact-backed (zero-copy) snapshots.
   bool artifactBacked() const { return artifact_ != nullptr; }
 
+  /// Bytes the snapshot keeps resident for serving: the backing artifact's
+  /// size for artifact-backed snapshots, 0 for owned ones (a frozen
+  /// FuzzyPsm has no byte-exact size; the registry's resident-bytes budget
+  /// only tracks artifact-backed tenants, which is all it ever loads).
+  std::uint64_t residentBytes() const {
+    return artifact_ ? static_cast<std::uint64_t>(artifact_->sizeBytes())
+                     : 0;
+  }
+
   /// Read-only access to the full grammar (introspection, enumeration).
   /// Const methods only — the snapshot's immutability is the thread-safety
   /// contract. Only valid for owned snapshots; throws Error when

@@ -80,6 +80,7 @@ void ScoreCache::insert(std::uint64_t generation, std::string_view pw,
       }
       shard.lru.push_front(Entry{std::string(pw), generation, bits});
       shard.index.emplace(shard.lru.front().password, shard.lru.begin());
+      ++shard.stats.inserts;
       inserted = true;
     }
   }
@@ -108,6 +109,7 @@ ScoreCache::Stats ScoreCache::stats() const {
     total.misses += shard->stats.misses;
     total.staleEvictions += shard->stats.staleEvictions;
     total.capacityEvictions += shard->stats.capacityEvictions;
+    total.inserts += shard->stats.inserts;
   }
   return total;
 }

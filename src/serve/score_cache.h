@@ -36,6 +36,13 @@ class ScoreCache {
     std::uint64_t misses = 0;
     std::uint64_t staleEvictions = 0;
     std::uint64_t capacityEvictions = 0;
+    /// New-entry insertions (overwrites of an existing key not counted).
+    /// Every eviction counter is bumped in the same critical section as
+    /// the mutation it describes, so on a quiescent cache the books
+    /// balance exactly: size() == inserts - capacityEvictions -
+    /// staleEvictions. The concurrent-insert test in serve_test.cpp holds
+    /// this identity under contention.
+    std::uint64_t inserts = 0;
     double hitRate() const {
       const double total = static_cast<double>(hits + misses);
       return total == 0.0 ? 0.0 : static_cast<double>(hits) / total;

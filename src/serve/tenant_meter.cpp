@@ -1,4 +1,4 @@
-#include "serve/meter_service.h"
+#include "serve/tenant_meter.h"
 
 #include <algorithm>
 #include <utility>
@@ -13,7 +13,7 @@
 
 namespace fpsm {
 
-MeterService::MeterService(FuzzyPsm grammar, MeterServiceConfig config)
+TenantMeter::TenantMeter(FuzzyPsm grammar, TenantMeterConfig config)
     : config_(config),
       master_(std::move(grammar)),
       cache_(config.cacheCapacity == 0 ? 1 : config.cacheCapacity,
@@ -23,7 +23,7 @@ MeterService::MeterService(FuzzyPsm grammar, MeterServiceConfig config)
   // the same proven discipline as every later publish.
   const MutexLock lock(masterMutex_);
   if (!master_.trained()) {
-    throw NotTrained("MeterService: grammar must be trained before serving");
+    throw NotTrained("TenantMeter: grammar must be trained before serving");
   }
   current_.store(GrammarSnapshot::freeze(master_, 0));
   if (config_.backgroundPublisher) {
@@ -31,16 +31,16 @@ MeterService::MeterService(FuzzyPsm grammar, MeterServiceConfig config)
   }
 }
 
-MeterService::MeterService(std::shared_ptr<const GrammarArtifact> artifact,
-                           MeterServiceConfig config)
+TenantMeter::TenantMeter(std::shared_ptr<const GrammarArtifact> artifact,
+                         TenantMeterConfig config)
     : config_(config),
       cache_(config.cacheCapacity == 0 ? 1 : config.cacheCapacity,
              config.cacheShards) {
   if (!artifact) {
-    throw InvalidArgument("MeterService: null artifact");
+    throw InvalidArgument("TenantMeter: null artifact");
   }
   if (!artifact->grammar().trained()) {
-    throw NotTrained("MeterService: artifact grammar must be trained");
+    throw NotTrained("TenantMeter: artifact grammar must be trained");
   }
   const MutexLock lock(masterMutex_);
   coldArtifact_ = std::move(artifact);
@@ -51,13 +51,13 @@ MeterService::MeterService(std::shared_ptr<const GrammarArtifact> artifact,
   }
 }
 
-MeterService::~MeterService() {
+TenantMeter::~TenantMeter() {
   stopping_.store(true, std::memory_order_release);
   queue_.wake();
   if (publisher_.joinable()) publisher_.join();
 }
 
-MeterService::Score MeterService::score(std::string_view pw) const {
+TenantMeter::Score TenantMeter::score(std::string_view pw) const {
   scoreCount_.fetch_add(1, std::memory_order_relaxed);
   obs::count(obs::Counter::ServeScoreCalls);
   obs::StageTimer span(obs::Histo::ServeScoreLatency);
@@ -75,7 +75,7 @@ MeterService::Score MeterService::score(std::string_view pw) const {
   return Score{bits, gen, false};
 }
 
-std::vector<MeterService::Score> MeterService::scoreBatch(
+std::vector<TenantMeter::Score> TenantMeter::scoreBatch(
     const std::vector<std::string>& pws, unsigned requestedThreads) const {
   scoreCount_.fetch_add(pws.size(), std::memory_order_relaxed);
   obs::count(obs::Counter::ServeBatchCalls);
@@ -136,7 +136,7 @@ std::vector<MeterService::Score> MeterService::scoreBatch(
   return out;
 }
 
-void MeterService::update(std::string_view pw, std::uint64_t n) {
+void TenantMeter::update(std::string_view pw, std::uint64_t n) {
   if (n == 0) return;
   try {
     validatePassword(pw);
@@ -158,7 +158,7 @@ void MeterService::update(std::string_view pw, std::uint64_t n) {
   queue_.push(pw, n);
 }
 
-void MeterService::setUpdateSink(UpdateSink sink) {
+void TenantMeter::setUpdateSink(UpdateSink sink) {
   if (sink) {
     updateSink_.store(std::make_shared<const UpdateSink>(std::move(sink)));
   } else {
@@ -166,7 +166,7 @@ void MeterService::setUpdateSink(UpdateSink sink) {
   }
 }
 
-std::uint64_t MeterService::applyAndPublishLocked(
+std::uint64_t TenantMeter::applyAndPublishLocked(
     const UpdateQueue::Batch& batch) {
   obs::StageTimer span(obs::Histo::ServePublishLatency);
   if (coldArtifact_) {
@@ -204,20 +204,20 @@ std::uint64_t MeterService::applyAndPublishLocked(
   return gen;
 }
 
-std::uint64_t MeterService::publishNow() {
+std::uint64_t TenantMeter::publishNow() {
   const MutexLock lock(masterMutex_);
   const UpdateQueue::Batch batch = queue_.drain();
   if (batch.empty()) return current_.load()->generation();
   return applyAndPublishLocked(batch);
 }
 
-std::uint64_t MeterService::publishFromArtifact(
+std::uint64_t TenantMeter::publishFromArtifact(
     std::shared_ptr<const GrammarArtifact> artifact) {
   if (!artifact) {
-    throw InvalidArgument("MeterService: null artifact");
+    throw InvalidArgument("TenantMeter: null artifact");
   }
   if (!artifact->grammar().trained()) {
-    throw NotTrained("MeterService: artifact grammar must be trained");
+    throw NotTrained("TenantMeter: artifact grammar must be trained");
   }
   const MutexLock lock(masterMutex_);
   // Build (and lint) the snapshot before touching any service state: a
@@ -239,7 +239,7 @@ std::uint64_t MeterService::publishFromArtifact(
   return gen;
 }
 
-void MeterService::publisherLoop() {
+void TenantMeter::publisherLoop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     const bool pending =
         queue_.waitFor(config_.publishInterval, config_.maxPendingUpdates);
@@ -250,7 +250,7 @@ void MeterService::publisherLoop() {
   }
 }
 
-MeterService::Stats MeterService::stats() const {
+TenantMeter::Stats TenantMeter::stats() const {
   Stats s;
   s.scores = scoreCount_.load(std::memory_order_relaxed);
   s.updates = updateCount_.load(std::memory_order_relaxed);

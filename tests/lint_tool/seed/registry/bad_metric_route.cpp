@@ -1,0 +1,32 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. Registry-shaped metric-site defects outside src/obs/: the routing
+// layer counting per-tenant events must stay within the one-relaxed-
+// atomic-add hot-path budget (DESIGN.md §14). fpsm_lint must report R008
+// metric-site-side-effect (and exit non-zero) on this file, proving the
+// metric-site rule covers src/registry call sites.
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fpsm_lint_seed {
+
+namespace obs = fpsm::obs;
+using std::chrono::steady_clock;
+
+inline std::uint64_t us(steady_clock::time_point t);
+
+// Allocation on the metric line — building the tenant key std::string per
+// cold load pays a heap round trip inside the counting call site.
+inline void countColdLoadForTenant(const char* tenant) {
+  obs::count(obs::Counter::RegistryColdLoads, std::string(tenant).size());
+}
+
+// Raw clock read on the metric line — route latency spans must go through
+// obs::StageTimer, the one audited clock/metric pairing.
+inline void recordRouteLatency(std::uint64_t t0) {
+  obs::observe(obs::Histo::RegistryRouteLatency, us(steady_clock::now()) - t0);
+}
+
+}  // namespace fpsm_lint_seed

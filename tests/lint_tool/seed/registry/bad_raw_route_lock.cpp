@@ -1,0 +1,21 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. Registry-shaped raw std::mutex outside src/util/: a hand-rolled
+// per-tenant lock table instead of util/mutex.h capabilities. fpsm_lint
+// must report R001 raw-sync-primitive (and exit non-zero) on this file,
+// which is the self-test proving the confinement rule covers the
+// multi-tenant registry layer, not just the serve fixtures.
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fpsm_lint_seed {
+
+std::mutex gTenantTableMutex;
+std::map<std::string, int> gTenantGenerations;
+
+int bumpTenantGeneration(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(gTenantTableMutex);
+  return ++gTenantGenerations[tenant];
+}
+
+}  // namespace fpsm_lint_seed

@@ -1,0 +1,34 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. A registry-shaped Mutex-holding class (the GrammarRegistry control
+// plane pattern: one Mutex guarding a tenant table plus counters) with two
+// planted defects:
+//   * a counter field written under the lock but not FPSM_GUARDED_BY it —
+//     fpsm_lint must report R006 unannotated-guarded-field;
+//   * a public method with no FPSM_ locking annotation at all — fpsm_lint
+//     must report R007 unannotated-public-method.
+// Together they prove the class-structure scanner covers registry-shaped
+// code (src/registry) and exits non-zero on it.
+#pragma once
+
+#include <cstdint>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fpsm_lint_seed {
+
+class BadTenantTable {
+ public:
+  // No FPSM_EXCLUDES/FPSM_REQUIRES/FPSM_NO_CAPABILITY: R007.
+  void touch() {
+    const fpsm::MutexLock lock(mutex_);
+    ++routedScores_;
+  }
+
+ private:
+  mutable fpsm::Mutex mutex_;
+  // Written only under mutex_ but not annotated: R006.
+  std::uint64_t routedScores_ = 0;
+};
+
+}  // namespace fpsm_lint_seed

@@ -1,0 +1,27 @@
+// Seeded fpsm_lint violation — test fixture only, never compiled into the
+// tree. The path deliberately matches the hot-path list entry
+// "registry/tenant_route." so this file is inside the "no locks while
+// scoring" jurisdiction: the real src/registry/tenant_route.h is the
+// lock-free routing snapshot readers score through, and any lock token in
+// it would put a critical section on every score. fpsm_lint must report
+// R004 hot-path-lock (and exit non-zero) here, proving the hot-path rule
+// covers the registry routing plane.
+#pragma once
+
+#include "util/mutex.h"
+
+namespace fpsm_lint_seed {
+
+struct SeedRoute {
+  double bits = 0.0;
+};
+
+// Taking a lock inside the routing read path — the exact shape R004 exists
+// to reject: the lock belongs in the registry control plane, with an
+// immutable route snapshot passed down to scoring.
+inline double scoreThroughRoute(const SeedRoute& route, fpsm::Mutex& m) {
+  const fpsm::MutexLock lock(m);
+  return route.bits;
+}
+
+}  // namespace fpsm_lint_seed

@@ -375,6 +375,165 @@ TEST(GenerationLog, VerifyDetectsLaterCorruption) {
   EXPECT_NE(report.render().find("size-mismatch"), std::string::npos);
 }
 
+// --------------------------------------------------- GenerationLog: gc
+
+TEST(GenerationLog, GcRetainsNewestAndPreservesSequences) {
+  const std::string dir = scratchDir("gc_retention");
+  GenerationLog log(dir);
+  for (int i = 1; i <= 5; ++i) {
+    const std::string payload = "generation " + std::to_string(i);
+    log.append(payload.data(), payload.size());
+  }
+
+  const auto res = log.gc(2);
+  EXPECT_EQ(res.kept, 2u);
+  EXPECT_EQ(res.retired, 3u);
+  EXPECT_EQ(res.removedFiles, 3u);
+
+  // The retention rule: newest N survive WITH their original sequence
+  // numbers — the window slides, it does not renumber.
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries()[0].sequence, 4u);
+  EXPECT_EQ(log.entries()[1].sequence, 5u);
+  EXPECT_EQ(log.nextSequence(), 6u);
+  EXPECT_FALSE(fs::exists(dir + "/gen-000001.fpsmb"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000002.fpsmb"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000003.fpsmb"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000004.fpsmb"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000005.fpsmb"));
+
+  // A reopen sees a clean two-entry log that keeps appending where the
+  // pre-gc log left off.
+  RecoveryReport report;
+  GenerationLog reopened(dir, &report);
+  EXPECT_TRUE(report.clean()) << report.render();
+  ASSERT_EQ(reopened.entries().size(), 2u);
+  EXPECT_EQ(reopened.nextSequence(), 6u);
+  const std::string next = "generation 6";
+  EXPECT_EQ(reopened.append(next.data(), next.size()), 6u);
+  EXPECT_TRUE(reopened.verify().clean());
+}
+
+TEST(GenerationLog, GcKeepZeroThrows) {
+  const std::string dir = scratchDir("gc_zero");
+  GenerationLog log(dir);
+  const std::string payload = "bytes";
+  log.append(payload.data(), payload.size());
+  EXPECT_THROW(log.gc(0), InvalidArgument);
+  EXPECT_EQ(log.entries().size(), 1u);  // untouched
+}
+
+TEST(GenerationLog, GcIsNoopWhenNothingExceedsTheWindow) {
+  const std::string dir = scratchDir("gc_noop");
+  GenerationLog log(dir);
+  EXPECT_EQ(log.gc(3).kept, 0u);  // empty log: nothing to do
+  const std::string payload = "bytes";
+  log.append(payload.data(), payload.size());
+  log.append(payload.data(), payload.size());
+  const auto res = log.gc(5);  // window larger than the log
+  EXPECT_EQ(res.kept, 2u);
+  EXPECT_EQ(res.retired, 0u);
+  EXPECT_EQ(res.removedFiles, 0u);
+  EXPECT_EQ(log.entries().size(), 2u);
+  EXPECT_TRUE(log.verify().clean());
+}
+
+TEST(GenerationLog, GcReapsOrphansBelowTheKeptWindow) {
+  const std::string dir = scratchDir("gc_orphans");
+  {
+    GenerationLog log(dir);
+    const std::string payload = "bytes";
+    log.append(payload.data(), payload.size());  // seq 1
+    log.append(payload.data(), payload.size());  // seq 2
+  }
+  // An orphan from a crash between rename and manifest append: the file
+  // for seq 3 exists but was never committed. Recovery retires its
+  // sequence; gc may finally delete it once it falls below the window.
+  {
+    std::ofstream out(dir + "/gen-000003.fpsmb", std::ios::binary);
+    out << "orphaned payload";
+  }
+  GenerationLog log(dir);
+  EXPECT_EQ(log.nextSequence(), 4u);  // orphan retired its sequence
+  const std::string next = "bytes";
+  log.append(next.data(), next.size());  // seq 4
+
+  const auto res = log.gc(1);
+  EXPECT_EQ(res.retired, 2u);       // committed seqs 1 and 2
+  EXPECT_EQ(res.removedFiles, 3u);  // ...plus the orphaned seq 3
+  EXPECT_FALSE(fs::exists(dir + "/gen-000001.fpsmb"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000002.fpsmb"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000003.fpsmb"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000004.fpsmb"));
+}
+
+TEST(GenerationLog, GcCrashBeforeManifestSwapLosesNothing) {
+  const std::string dir = scratchDir("gc_crash_early");
+  {
+    GenerationLog log(dir);
+    for (int i = 1; i <= 3; ++i) {
+      const std::string payload = "generation " + std::to_string(i);
+      log.append(payload.data(), payload.size());
+    }
+  }
+  // Simulate a crash after gc wrote its rewritten manifest but BEFORE the
+  // rename moved the commit authority: a stray MANIFEST.tmp exists and the
+  // original manifest is untouched.
+  {
+    std::ofstream out(dir + "/MANIFEST.tmp", std::ios::binary);
+    out << "# fpsm generation log v1\n";
+  }
+  RecoveryReport report;
+  GenerationLog log(dir, &report);
+  EXPECT_TRUE(report.clean()) << report.render();
+  EXPECT_FALSE(fs::exists(dir + "/MANIFEST.tmp"));  // swept like any .tmp
+  ASSERT_EQ(log.entries().size(), 3u);  // nothing was lost
+  EXPECT_TRUE(log.verify().clean());
+}
+
+TEST(GenerationLog, GcCrashAfterManifestSwapRecoversAndReaps) {
+  const std::string dir = scratchDir("gc_crash_late");
+  {
+    GenerationLog log(dir);
+    for (int i = 1; i <= 4; ++i) {
+      const std::string payload = "generation " + std::to_string(i);
+      log.append(payload.data(), payload.size());
+    }
+  }
+  // Simulate a crash after the manifest swap but before file deletion:
+  // rewrite the manifest to the kept window (verbatim committed lines, as
+  // gc writes them) while every gen file is still on disk.
+  {
+    std::ifstream in(dir + "/MANIFEST", std::ios::binary);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u);  // header + 4 entries
+    std::ofstream out(dir + "/MANIFEST",
+                      std::ios::binary | std::ios::trunc);
+    out << lines[0] << '\n' << lines[3] << '\n' << lines[4] << '\n';
+  }
+
+  // Recovery: the kept entries serve; the undeleted files are orphans
+  // whose sequences are already below nextSequence — clean, no skips.
+  RecoveryReport report;
+  GenerationLog log(dir, &report);
+  EXPECT_TRUE(report.clean()) << report.render();
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries()[0].sequence, 3u);
+  EXPECT_EQ(log.nextSequence(), 5u);
+  EXPECT_TRUE(fs::exists(dir + "/gen-000001.fpsmb"));  // not yet reaped
+
+  // The next gc pass finishes the interrupted cleanup.
+  const auto res = log.gc(2);
+  EXPECT_EQ(res.retired, 0u);
+  EXPECT_EQ(res.removedFiles, 2u);
+  EXPECT_FALSE(fs::exists(dir + "/gen-000001.fpsmb"));
+  EXPECT_FALSE(fs::exists(dir + "/gen-000002.fpsmb"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000003.fpsmb"));
+  EXPECT_TRUE(fs::exists(dir + "/gen-000004.fpsmb"));
+}
+
 // --------------------------------------------------- OnlineUpdater: basics
 
 TEST(OnlineUpdater, BootstrapServesTheTrainedGrammar) {

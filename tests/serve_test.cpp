@@ -130,6 +130,41 @@ TEST(ScoreCacheTest, OverwriteMovesEntryToNewGeneration) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+// Eviction accounting under contention: every insert and every capacity
+// eviction is counted in the same critical section as the list mutation
+// it describes, so once the writers are joined the books must balance
+// EXACTLY — inserts minus evictions equals resident entries. A counter
+// bumped outside the shard lock (the accounting bug this test pins down)
+// drifts under exactly this workload: distinct keys, all shards, heavy
+// capacity pressure.
+TEST(ScoreCacheTest, ConcurrentInsertsBalanceEvictionCounters) {
+  ScoreCache cache(64, 8);
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&cache, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        cache.insert(1, "pw-" + std::to_string(t) + "-" + std::to_string(i),
+                     static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  const ScoreCache::Stats stats = cache.stats();
+  // Distinct keys and one generation: no overwrites, no stale evictions.
+  EXPECT_EQ(stats.inserts, static_cast<std::uint64_t>(kThreads) *
+                               kKeysPerThread);
+  EXPECT_EQ(stats.staleEvictions, 0u);
+  EXPECT_EQ(stats.inserts - stats.capacityEvictions,
+            static_cast<std::uint64_t>(cache.size()));
+  // Capacity 64 over 8 shards: every shard is saturated by this workload,
+  // so the resident count is exactly the configured capacity.
+  EXPECT_EQ(cache.size(), 64u);
+}
+
 // ------------------------------------------------------------ UpdateQueue
 
 TEST(UpdateQueueTest, CoalescesCountsPerPassword) {

@@ -308,6 +308,7 @@ const std::regex kFieldDecl(
 const char* kHotPathFiles[] = {
     "core/fuzzy_parse.", "artifact/flat_grammar.", "trie/trie.",
     "trie/flat_trie.",   "util/byte_scan.",        "serve/grammar_snapshot.",
+    "registry/tenant_route.",
 };
 
 /// Types a field may have without an FPSM_GUARDED_BY annotation: each is
@@ -317,7 +318,7 @@ const char* kHotPathFiles[] = {
 const char* kSelfSynchronizing[] = {
     "std::atomic", "RcuPtr",     "Mutex",       "SharedMutex",
     "CondVar",     "std::thread", "ScoreCache", "UpdateQueue",
-    "MeterService",
+    "MeterService", "TenantMeter",
 };
 
 class Linter {

@@ -41,6 +41,14 @@
 //       --metrics-dump FILE writes the process-wide metrics snapshot
 //       (src/obs, DESIGN.md §14) after the run — readable later with
 //       `fuzzypsm stats --file FILE`.
+//       With --tenants ROOT the bench drives a GrammarRegistry instead of
+//       a single MeterService: readers pick a random tenant per call and
+//       route score/scoreBatch through the registry, the writer routes
+//       update() and compacts a random tenant periodically, and --budget
+//       BYTES caps resident bytes so cold loads and LRU evictions happen
+//       mid-traffic. The report adds per-tenant routed counts and the
+//       registry's aggregate stats; --json writes the
+//       "serve-bench-tenants" shape.
 //
 //   fuzzypsm stats (--file DUMP.json | --grammar GRAMMAR [PW...]) [--json]
 //       Render a metrics snapshot. With --file, re-render a dump written
@@ -98,6 +106,25 @@
 //       every skip's reason/detail). Exit code 1 if recovery skipped
 //       anything or verification found damage, else 0.
 //
+//   fuzzypsm log gc --dir DIR --keep N
+//       Retire all but the newest N committed generations: the manifest is
+//       rewritten crash-safely (MANIFEST.tmp + rename) before any file is
+//       deleted, then every gen-*.fpsmb strictly older than the kept
+//       window — retired generations, old orphans, old quarantined files —
+//       is removed. A crash at any point leaves a state the next open
+//       recovers from (src/online/generation_log.h).
+//
+//   fuzzypsm tenants <list|add|evict|stats> --root DIR [--tenant ID]
+//            (--artifact FILE.fpsmb | --grammar GRAMMAR) [--budget BYTES]
+//            [--json]
+//       Operate a multi-tenant registry rooted at DIR (one subdirectory =
+//       one tenant's generation log, src/registry). `add` registers a new
+//       tenant from a compiled artifact or any grammar file, then
+//       cold-loads it through the registry to prove it serves. `evict`
+//       loads then evicts one tenant, flushing pending updates to its log
+//       (exit 1 if the tenant was pinned or compacting). `list` and
+//       `stats` render the per-tenant table and aggregate counters.
+//
 // Every command taking --grammar accepts both the text format and a
 // compiled .fpsmb artifact; the file type is sniffed from the leading
 // magic bytes. Every parallel command honors --threads, falling back to
@@ -130,6 +157,7 @@
 #include "obs/metrics.h"
 #include "online/generation_log.h"
 #include "online/online_updater.h"
+#include "registry/grammar_registry.h"
 #include "synth/generator.h"
 #include "train/sharded_trainer.h"
 #include "util/error.h"
@@ -438,7 +466,203 @@ double percentileUs(const std::vector<double>& sorted, double q) {
   return sorted[std::min(rank, sorted.size() - 1)];
 }
 
+void printTenantTable(const std::vector<GrammarRegistry::TenantInfo>& infos);
+
+/// serve-bench --tenants ROOT: mixed traffic routed through a
+/// GrammarRegistry instead of one MeterService. Per-tenant request pools
+/// are sampled from each tenant's newest committed generation BEFORE the
+/// registry spins up any serving unit, so pool construction never competes
+/// with (or pre-warms) the cold-load path being measured.
+int cmdServeBenchTenants(const Args& args) {
+  const unsigned threads = threadsOption(args, 4);
+  const auto duration =
+      std::chrono::milliseconds(std::stoul(args.option("duration-ms", "2000")));
+  const std::size_t poolSize = std::stoul(args.option("pool", "512"));
+  const std::size_t batchSize = std::stoul(args.option("batch", "0"));
+  const std::uint64_t seed = std::stoull(args.option("seed", "7"));
+  if (poolSize == 0) throw InvalidArgument("--pool must be >= 1");
+
+  GrammarRegistryConfig cfg;
+  cfg.rootDir = args.requiredOption("tenants");
+  if (const auto b = args.option("budget"); !b.empty()) {
+    cfg.residentBytesBudget = std::stoull(b);
+  }
+
+  // Pool pass: read each tenant's newest generation with a throwaway
+  // mmap + model, scoped so nothing survives into the serving phase.
+  std::vector<std::string> ids;
+  std::vector<std::vector<std::string>> pools;
+  {
+    GrammarRegistry probe(cfg);
+    ids = probe.tenantIds();
+  }
+  if (ids.empty()) {
+    throw InvalidArgument("no tenants under " + cfg.rootDir +
+                          " (register some with `fuzzypsm tenants add`)");
+  }
+  Rng rng(seed);
+  for (const auto& id : ids) {
+    GenerationLog log(cfg.rootDir + "/" + id);
+    if (log.entries().empty()) {
+      throw InvalidArgument("tenant " + id + " has an empty generation log");
+    }
+    const auto artifact =
+        GrammarArtifact::open(log.pathFor(log.entries().back().sequence));
+    const FuzzyPsm psm = FuzzyPsm::fromArtifact(*artifact);
+    std::vector<std::string> pool;
+    pool.reserve(poolSize);
+    for (std::size_t i = 0; i < poolSize; ++i) pool.push_back(psm.sample(rng));
+    pools.push_back(std::move(pool));
+  }
+
+  GrammarRegistry registry(cfg);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> totalScores{0};
+  std::vector<std::vector<double>> latencySamples(threads);
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng threadRng(1000 + t);
+      std::uint64_t local = 0;
+      std::vector<std::string> request(batchSize);
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t which = threadRng.below(ids.size());
+        const auto& pool = pools[which];
+        if (batchSize == 0) {
+          (void)registry.score(ids[which],
+                               pool[threadRng.below(pool.size())]);
+          ++local;
+        } else {
+          for (auto& pw : request) pw = pool[threadRng.below(pool.size())];
+          const auto t0 = std::chrono::steady_clock::now();
+          (void)registry.scoreBatch(ids[which], request);
+          const auto t1 = std::chrono::steady_clock::now();
+          latencySamples[t].push_back(
+              std::chrono::duration<double, std::micro>(t1 - t0).count());
+          local += batchSize;
+        }
+      }
+      totalScores.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::atomic<std::uint64_t> compactions{0};
+  std::thread writer([&] {
+    Rng writerRng(31337);
+    std::uint64_t accepted = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int i = 0; i < 8; ++i) {
+        const std::size_t which = writerRng.below(ids.size());
+        registry.update(ids[which],
+                        pools[which][writerRng.below(poolSize)], 1);
+        ++accepted;
+      }
+      // Periodic compaction of a random tenant: exercises the busy flag
+      // against the eviction scan and appends real generations mid-run.
+      if (accepted >= 512) {
+        accepted = 0;
+        registry.compactTenant(ids[writerRng.below(ids.size())]);
+        compactions.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(duration);
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  for (auto& t : readers) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto stats = registry.stats();
+  const auto infos = registry.tenants();
+  std::printf("tenants: %zu under %s, readers: %u, writer: 1\n", ids.size(),
+              cfg.rootDir.c_str(), threads);
+  if (cfg.residentBytesBudget > 0) {
+    std::printf("budget: %s resident bytes (evictions expected)\n",
+                fmtCount(cfg.residentBytesBudget).c_str());
+  }
+  std::printf("scores: %s in %.2f s -> %s scores/sec routed\n",
+              fmtCount(totalScores.load()).c_str(), secs,
+              fmtCount(static_cast<std::uint64_t>(
+                           static_cast<double>(totalScores.load()) / secs))
+                  .c_str());
+  std::printf(
+      "registry: %llu cold loads, %llu evictions (%llu flushed), "
+      "%llu compactions, %s resident bytes\n",
+      static_cast<unsigned long long>(stats.coldLoads),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.evictFlushes),
+      static_cast<unsigned long long>(compactions.load()),
+      fmtCount(stats.residentBytes).c_str());
+  printTenantTable(infos);
+
+  std::vector<double> latencies;
+  for (auto& samples : latencySamples) {
+    latencies.insert(latencies.end(), samples.begin(), samples.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentileUs(latencies, 0.50);
+  const double p95 = percentileUs(latencies, 0.95);
+  const double p99 = percentileUs(latencies, 0.99);
+  if (batchSize > 0) {
+    std::printf(
+        "scoreBatch latency over %s calls: p50 %.1f us, p95 %.1f us, "
+        "p99 %.1f us\n",
+        fmtCount(latencies.size()).c_str(), p50, p95, p99);
+  }
+
+  if (const std::string jsonPath = args.option("json"); !jsonPath.empty()) {
+    std::ofstream json(jsonPath);
+    if (!json) throw IoError("cannot write " + jsonPath);
+    json << "{\n";
+    json << "  \"bench\": \"serve-bench-tenants\",\n";
+    json << "  \"tenants\": " << ids.size() << ",\n";
+    json << "  \"readers\": " << threads << ",\n";
+    json << "  \"batch_size\": " << batchSize << ",\n";
+    json << "  \"duration_ms\": " << duration.count() << ",\n";
+    json << "  \"budget_bytes\": " << cfg.residentBytesBudget << ",\n";
+    json << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n";
+    json << "  \"simd\": \"" << simdLevelName(activeSimdLevel()) << "\",\n";
+    json << "  \"scores\": " << totalScores.load() << ",\n";
+    json << "  \"scores_per_sec\": "
+         << (static_cast<double>(totalScores.load()) / secs) << ",\n";
+    json << "  \"cold_loads\": " << stats.coldLoads << ",\n";
+    json << "  \"evictions\": " << stats.evictions << ",\n";
+    json << "  \"evict_flushes\": " << stats.evictFlushes << ",\n";
+    json << "  \"compactions\": " << compactions.load() << ",\n";
+    json << "  \"resident_bytes\": " << stats.residentBytes << ",\n";
+    if (batchSize > 0) {
+      json << "  \"calls\": " << latencies.size() << ",\n";
+      json << "  \"p50_us\": " << p50 << ",\n";
+      json << "  \"p95_us\": " << p95 << ",\n";
+      json << "  \"p99_us\": " << p99 << ",\n";
+    } else {
+      json << "  \"calls\": " << totalScores.load() << ",\n";
+    }
+    json << "  \"per_tenant\": [\n";
+    for (std::size_t i = 0; i < infos.size(); ++i) {
+      const auto& info = infos[i];
+      json << "    {\"tenant\": \"" << jsonEscape(info.id)
+           << "\", \"routed_scores\": " << info.routedScores
+           << ", \"routed_updates\": " << info.routedUpdates
+           << ", \"cold_loads\": " << info.coldLoads
+           << ", \"evictions\": " << info.evictions << "}"
+           << (i + 1 < infos.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n";
+    json << "}\n";
+    std::fprintf(stderr, "wrote %s\n", jsonPath.c_str());
+  }
+  maybeWriteMetricsDump(args);
+  return 0;
+}
+
 int cmdServeBench(const Args& args) {
+  if (!args.option("tenants").empty()) return cmdServeBenchTenants(args);
   const unsigned threads = threadsOption(args, 4);
   const auto duration =
       std::chrono::milliseconds(std::stoul(args.option("duration-ms", "2000")));
@@ -869,10 +1093,34 @@ int cmdUpdateLoop(const Args& args) {
   return stats.rollbacks == 0 ? 0 : 1;
 }
 
+int cmdLogGc(const Args& args) {
+  const std::string dir = args.requiredOption("dir");
+  const std::uint64_t keep = std::stoull(args.requiredOption("keep"));
+
+  RecoveryReport report;
+  GenerationLog log(dir, &report);
+  if (!report.clean()) std::fprintf(stderr, "%s", report.render().c_str());
+  const auto res = log.gc(static_cast<std::size_t>(keep));
+  std::printf("gc %s: kept %llu, retired %llu manifest entries, "
+              "removed %llu files\n",
+              dir.c_str(), static_cast<unsigned long long>(res.kept),
+              static_cast<unsigned long long>(res.retired),
+              static_cast<unsigned long long>(res.removedFiles));
+  if (log.latest() != nullptr) {
+    std::printf("newest generation: sequence %llu (%s)\n",
+                static_cast<unsigned long long>(log.latest()->sequence),
+                log.latest()->file.c_str());
+  }
+  return 0;
+}
+
 int cmdLog(const Args& args) {
-  if (args.positional.empty() || args.positional[0] != "inspect") {
+  const std::string sub = args.positional.empty() ? "" : args.positional[0];
+  if (sub == "gc") return cmdLogGc(args);
+  if (sub != "inspect") {
     throw InvalidArgument(
-        "usage: fuzzypsm log inspect --dir DIR [--verify] [--json]");
+        "usage: fuzzypsm log <inspect|gc> --dir DIR "
+        "[--verify] [--json] [--keep N]");
   }
   const std::string dir = args.requiredOption("dir");
   const bool verify = args.flag("verify");
@@ -960,11 +1208,137 @@ int cmdLog(const Args& args) {
   return damaged ? 1 : 0;
 }
 
+// ------------------------------------------------------ tenants command
+
+void printTenantTable(const std::vector<GrammarRegistry::TenantInfo>& infos) {
+  std::printf("%-20s %-8s %-6s %6s %12s %10s %10s\n", "tenant", "resident",
+              "pinned", "gens", "bytes", "scores", "updates");
+  for (const auto& info : infos) {
+    std::printf("%-20s %-8s %-6s %6llu %12s %10s %10s\n", info.id.c_str(),
+                info.resident ? "yes" : "no", info.pinned ? "yes" : "no",
+                static_cast<unsigned long long>(info.logGenerations),
+                fmtCount(info.residentBytes).c_str(),
+                fmtCount(info.routedScores).c_str(),
+                fmtCount(info.routedUpdates).c_str());
+  }
+}
+
+void printTenantJson(const GrammarRegistry& registry,
+                     const std::vector<GrammarRegistry::TenantInfo>& infos) {
+  const GrammarRegistry::Stats stats = registry.stats();
+  std::printf("{\n");
+  std::printf("  \"registry\": \"%s\",\n",
+              jsonEscape(registry.rootDir()).c_str());
+  std::printf("  \"tenants\": %llu,\n",
+              static_cast<unsigned long long>(stats.tenants));
+  std::printf("  \"resident\": %llu,\n",
+              static_cast<unsigned long long>(stats.resident));
+  std::printf("  \"resident_bytes\": %llu,\n",
+              static_cast<unsigned long long>(stats.residentBytes));
+  std::printf("  \"cold_loads\": %llu,\n",
+              static_cast<unsigned long long>(stats.coldLoads));
+  std::printf("  \"evictions\": %llu,\n",
+              static_cast<unsigned long long>(stats.evictions));
+  std::printf("  \"detail\": [\n");
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    const auto& info = infos[i];
+    std::printf(
+        "    {\"tenant\": \"%s\", \"resident\": %s, \"pinned\": %s, "
+        "\"generation\": %llu, \"log_generations\": %llu, "
+        "\"resident_bytes\": %llu, \"routed_scores\": %llu, "
+        "\"routed_updates\": %llu, \"cold_loads\": %llu, "
+        "\"evictions\": %llu}%s\n",
+        jsonEscape(info.id).c_str(), info.resident ? "true" : "false",
+        info.pinned ? "true" : "false",
+        static_cast<unsigned long long>(info.generation),
+        static_cast<unsigned long long>(info.logGenerations),
+        static_cast<unsigned long long>(info.residentBytes),
+        static_cast<unsigned long long>(info.routedScores),
+        static_cast<unsigned long long>(info.routedUpdates),
+        static_cast<unsigned long long>(info.coldLoads),
+        static_cast<unsigned long long>(info.evictions),
+        i + 1 < infos.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+}
+
+int cmdTenants(const Args& args) {
+  const std::string sub = args.positional.empty() ? "" : args.positional[0];
+  if (sub != "list" && sub != "add" && sub != "evict" && sub != "stats") {
+    throw InvalidArgument(
+        "usage: fuzzypsm tenants <list|add|evict|stats> --root DIR "
+        "[--tenant ID] [--artifact FILE.fpsmb | --grammar GRAMMAR] "
+        "[--budget BYTES] [--json]");
+  }
+  GrammarRegistryConfig cfg;
+  cfg.rootDir = args.requiredOption("root");
+  if (const auto b = args.option("budget"); !b.empty()) {
+    cfg.residentBytesBudget = std::stoull(b);
+  }
+  GrammarRegistry registry(cfg);
+
+  if (sub == "add") {
+    const std::string tenant = args.requiredOption("tenant");
+    if (const auto a = args.option("artifact"); !a.empty()) {
+      std::ifstream in(a, std::ios::binary);
+      if (!in) throw IoError("cannot open artifact: " + a);
+      const std::vector<char> bytes{std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>()};
+      registry.addTenant(tenant, bytes.data(), bytes.size());
+    } else {
+      registry.addTenant(tenant,
+                         loadGrammarFile(args.requiredOption("grammar")));
+    }
+    // Prove the new tenant serves end to end: cold-load it through the
+    // registry's own resume path before reporting success.
+    registry.loadTenant(tenant);
+    std::printf("tenant %s registered under %s and serving\n", tenant.c_str(),
+                registry.rootDir().c_str());
+    return 0;
+  }
+
+  if (sub == "evict") {
+    const std::string tenant = args.requiredOption("tenant");
+    // One-shot process: load the unit first so the evict demonstrates the
+    // full resident -> flushed -> cold cycle against this tenant's log.
+    registry.loadTenant(tenant);
+    const bool evicted = registry.evictTenant(tenant);
+    std::printf("tenant %s: %s\n", tenant.c_str(),
+                evicted ? "evicted (pending updates flushed to the log)"
+                        : "not evicted (pinned or compaction in flight)");
+    return evicted ? 0 : 1;
+  }
+
+  // list / stats
+  const auto infos = registry.tenants();
+  if (args.flag("json")) {
+    printTenantJson(registry, infos);
+    return 0;
+  }
+  std::printf("registry: %s\n", registry.rootDir().c_str());
+  printTenantTable(infos);
+  if (sub == "stats") {
+    const GrammarRegistry::Stats stats = registry.stats();
+    std::printf(
+        "tenants %llu, resident %llu (%s bytes), cold loads %llu, "
+        "evictions %llu (%llu flushed), unknown-tenant requests %llu\n",
+        static_cast<unsigned long long>(stats.tenants),
+        static_cast<unsigned long long>(stats.resident),
+        fmtCount(stats.residentBytes).c_str(),
+        static_cast<unsigned long long>(stats.coldLoads),
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.evictFlushes),
+        static_cast<unsigned long long>(stats.unknownTenant));
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: fuzzypsm <train|measure|suggest|explain|guesses|"
                "generate|serve-bench|stats|compile|inspect|lint-grammar|"
-               "update-loop|log> [options]\n"
+               "update-loop|log|tenants> [options]\n"
                "see the header of tools/fuzzypsm_cli.cpp for details\n");
   return 2;
 }
@@ -988,6 +1362,7 @@ int main(int argc, char** argv) {
     if (args.command == "lint-grammar") return cmdLintGrammar(args);
     if (args.command == "update-loop") return cmdUpdateLoop(args);
     if (args.command == "log") return cmdLog(args);
+    if (args.command == "tenants") return cmdTenants(args);
     return usage();
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
